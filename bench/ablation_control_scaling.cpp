@@ -1,0 +1,74 @@
+// The §5 scaling argument, quantified: steady-state control-plane load of
+// proactive (DSDV/OLSR-family) and reactive (AODV-family) routing vs
+// CityMesh, on realized AP meshes of growing city size.
+//
+// Paper claims reproduced: proactive updates "increase proportionally with
+// network size" (O(N^2) network-wide per round => the per-hour column grows
+// quadratically), reactive discovery is "a burst of control packets ...
+// through the city-scale network" per route, and CityMesh "exchanges no
+// metadata about their existence, addresses, link state, etc." — zero
+// control transmissions, with per-node state being the static map cache.
+#include <iostream>
+
+#include "mesh/ap_network.hpp"
+#include "osmx/citygen.hpp"
+#include "routing/control_overhead.hpp"
+#include "viz/ascii.hpp"
+
+namespace osmx = citymesh::osmx;
+namespace mesh = citymesh::mesh;
+namespace routing = citymesh::routing;
+namespace viz = citymesh::viz;
+
+namespace {
+
+std::string engineering(double v) {
+  if (v >= 1e9) return viz::fmt(v / 1e9, 1) + "G";
+  if (v >= 1e6) return viz::fmt(v / 1e6, 1) + "M";
+  if (v >= 1e3) return viz::fmt(v / 1e3, 1) + "k";
+  return viz::fmt(v, 0);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CityMesh - control-plane load vs city size (the §5 argument)\n"
+            << "proactive: 5 s update interval; reactive: 2 discoveries/node/hour\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (const double km : {0.5, 1.0, 2.0, 3.0}) {
+    osmx::CityProfile p;
+    p.name = "scale-" + viz::fmt(km, 1);
+    p.width_m = km * 1000.0;
+    p.height_m = km * 1000.0;
+    p.park_fraction = 0.0;
+    p.seed = 42;
+    const auto city = osmx::generate_city(p);
+    const auto net = mesh::place_aps(city, {});
+
+    const auto proactive = routing::proactive_control_load(net.graph(), {});
+    const auto reactive = routing::reactive_control_load(net.graph(), {});
+    const auto citymesh = routing::citymesh_control_load(city.building_count());
+
+    rows.push_back({viz::fmt(km, 1) + " km^2*", std::to_string(net.ap_count()),
+                    engineering(proactive.control_tx_per_hour),
+                    engineering(reactive.control_tx_per_hour),
+                    engineering(citymesh.control_tx_per_hour),
+                    engineering(proactive.per_node_state_entries),
+                    engineering(citymesh.per_node_state_entries)});
+    std::cout << "  " << km << " km done" << std::endl;
+  }
+
+  viz::print_table(std::cout,
+                   "Control transmissions per hour (network-wide) and per-node state",
+                   {"city", "APs", "proactive tx/h", "reactive tx/h", "citymesh tx/h",
+                    "proactive state", "citymesh state"},
+                   rows);
+  std::cout << "\n(* square city of that side length)\n"
+            << "Expected shape: proactive load grows ~quadratically with AP count\n"
+            << "(every node floods every interval), reactive linearly in the\n"
+            << "session rate but with component-sized bursts; CityMesh stays at\n"
+            << "zero - its only per-node state is the static building map, which\n"
+            << "grows with the *city*, not with the number of radios.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: radio link model (the §6 "improve the fidelity of our
+// simulations" future-work item).
+//
+// The paper's simulator uses a hard symmetric disc cutoff and itself calls
+// the resulting range assumptions "conservative". This bench re-runs the
+// Figure-6 protocol under a log-distance shadowing model (links certain
+// below 0.6x range, impossible above 1.8x, linearly decaying between) on
+// the cities where the disc model's percolation cliff bites hardest.
+#include <iostream>
+
+#include "core/evaluation.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace osmx = citymesh::osmx;
+namespace mesh = citymesh::mesh;
+namespace viz = citymesh::viz;
+
+int main() {
+  std::cout << "CityMesh ablation - disc vs shadowed link model\n";
+
+  core::EvaluationConfig cfg;
+  cfg.reachability_pairs = 400;
+  cfg.deliverability_pairs = 25;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string name : {"san_francisco", "seattle", "boston"}) {
+    const auto city = osmx::generate_city(osmx::profile_by_name(name));
+    for (const auto model : {mesh::LinkModel::kDisc, mesh::LinkModel::kShadowed}) {
+      cfg.network.placement.link_model = model;
+      const auto eval = core::evaluate_city(city, cfg);
+      rows.push_back({name, model == mesh::LinkModel::kDisc ? "disc" : "shadowed",
+                      viz::fmt(eval.reachability(), 3),
+                      viz::fmt(eval.deliverability(), 3),
+                      eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1)});
+    }
+    std::cout << "  [" << name << "] done" << std::endl;
+  }
+
+  viz::print_table(std::cout, "Link-model ablation (range 50 m, 1 AP/200 m^2)",
+                   {"city", "model", "reach", "deliver", "overhead(med)"}, rows);
+  std::cout << "\nExpected shape: shadowing raises deliverability on the cities\n"
+            << "where disc-model failures were 51-56 m near-miss street gaps\n"
+            << "(san_francisco, seattle) - evidence the conservative cutoff, not\n"
+            << "the routing algorithm, caused those losses.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Robustness: deliverability vs per-link loss probability.
+//
+// The conduit flood is redundant by construction - every in-conduit
+// building's APs rebroadcast - so moderate link loss should barely dent
+// delivery, unlike a unicast path where per-hop loss compounds. This sweep
+// quantifies that redundancy margin (and shows where it runs out).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace viz = citymesh::viz;
+
+int main() {
+  std::cout << "CityMesh robustness - deliverability vs link loss\n";
+  const auto city = citymesh::benchutil::ablation_city();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    auto cfg = citymesh::benchutil::sweep_config();
+    cfg.network.medium.loss_probability = loss;
+    const auto eval = core::evaluate_city(city, cfg);
+    // A 20-hop unicast path at this loss rate, for contrast.
+    const double unicast20 = std::pow(1.0 - loss, 20);
+    rows.push_back({viz::fmt(loss * 100, 0) + "%", viz::fmt(eval.deliverability(), 2),
+                    viz::fmt(unicast20, 2),
+                    eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1)});
+    std::cout << "  loss " << loss * 100 << "% done" << std::endl;
+  }
+
+  viz::print_table(std::cout, "Link-loss sweep (ablation-town)",
+                   {"per-link loss", "conduit deliver", "20-hop unicast", "overhead(med)"},
+                   rows);
+  std::cout << "\nExpected shape: the conduit flood holds near-baseline delivery\n"
+            << "through 20-30% loss while an un-retransmitted 20-hop unicast path\n"
+            << "would already be hopeless - the redundancy the paper buys with\n"
+            << "its 13x transmission overhead.\n";
+  return 0;
+}

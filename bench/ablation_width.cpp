@@ -1,0 +1,39 @@
+// Ablation: conduit width W (DESIGN.md §5, item 2).
+//
+// The paper fixes W ~ the Wi-Fi transmission range (50 m). This sweep shows
+// the tradeoff the choice balances: a narrow conduit misses the real AP path
+// (deliverability drops), a wide conduit inflates the rebroadcast set
+// (transmission overhead grows) while adding little deliverability.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace viz = citymesh::viz;
+
+int main() {
+  std::cout << "CityMesh ablation - conduit width W sweep\n";
+  const auto city = citymesh::benchutil::ablation_city();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const double width : {10.0, 20.0, 30.0, 50.0, 80.0, 120.0}) {
+    auto cfg = citymesh::benchutil::sweep_config();
+    cfg.network.conduit.width_m = width;
+    const auto eval = core::evaluate_city(city, cfg);
+    rows.push_back({viz::fmt(width, 0) + " m", viz::fmt(eval.reachability(), 3),
+                    viz::fmt(eval.deliverability(), 3),
+                    eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1),
+                    eval.header_bits.empty() ? "-"
+                                             : viz::fmt(eval.median_header_bits(), 0)});
+    std::cout << "  W=" << width << " done" << std::endl;
+  }
+
+  viz::print_table(std::cout, "Conduit width ablation (ablation-town)",
+                   {"width W", "reach", "deliver", "overhead(med)", "hdr bits(med)"},
+                   rows);
+  std::cout << "\nExpected shape: deliverability rises steeply until W ~ the\n"
+            << "transmission range (50 m), then saturates while overhead keeps\n"
+            << "growing - the paper's choice of W ~ range sits at the knee.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the ablation benches.
+#pragma once
+
+#include "core/evaluation.hpp"
+#include "osmx/citygen.hpp"
+
+namespace citymesh::benchutil {
+
+/// A mid-size city used by ablations: structurally a downtown-plus-
+/// residential fabric with one bridged river, small enough that a parameter
+/// sweep of full evaluations completes in seconds per point.
+inline osmx::City ablation_city() {
+  osmx::CityProfile p;
+  p.name = "ablation-town";
+  p.width_m = 1600;
+  p.height_m = 1400;
+  p.rivers.push_back({.position_frac = 0.7, .width_m = 110.0, .vertical = false,
+                      .bridges = {0.5}});
+  p.seed = 71;
+  return osmx::generate_city(p);
+}
+
+/// Evaluation protocol shrunk for sweeps (the headline Figure-6 bench runs
+/// the paper's full 1000/50 protocol).
+inline core::EvaluationConfig sweep_config() {
+  core::EvaluationConfig cfg;
+  cfg.reachability_pairs = 300;
+  cfg.deliverability_pairs = 25;
+  return cfg;
+}
+
+}  // namespace citymesh::benchutil

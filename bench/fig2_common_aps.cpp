@@ -1,0 +1,45 @@
+// Figure 2 reproduction: "The distance between each pair of measurements and
+// the number of APs observed by both measurement samples." Whiskers mark the
+// 10%, 25%, 50%, 75% and 100% quantiles per distance bin.
+//
+// The paper's takeaway: many APs are observed in common from locations 100 m
+// apart (and some beyond, especially downtown), implying mutual visibility
+// that can form a connected mesh at < 100 m spacing.
+#include <iostream>
+
+#include "measure/survey.hpp"
+#include "measure/survey_stats.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+namespace osmx = citymesh::osmx;
+namespace measure = citymesh::measure;
+namespace viz = citymesh::viz;
+
+int main() {
+  std::cout << "CityMesh reproduction - Figure 2 (common APs vs pair distance)\n";
+
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const auto datasets = measure::run_survey(city, {});
+
+  measure::CommonApConfig cfg;
+  cfg.bin_width_m = 50.0;
+  cfg.max_distance_m = 500.0;
+
+  for (const auto& d : datasets) {
+    const auto bins = measure::common_ap_bins(d, cfg);
+    std::vector<viz::WhiskerRow> rows;
+    for (const auto& b : bins) {
+      if (b.pair_count == 0) continue;
+      rows.push_back({viz::fmt(b.lo_m, 0) + "-" + viz::fmt(b.hi_m, 0) + "m",
+                      b.q10, b.q25, b.q50, b.q75, b.q100, b.pair_count});
+    }
+    viz::print_whiskers(std::cout, "Figure 2 [" + d.name + "]", rows,
+                        "# common APs");
+  }
+
+  std::cout << "\nExpected shape: the common-AP count decays with distance but\n"
+            << "remains non-zero past 100 m, most prominently downtown - the\n"
+            << "mutual-visibility evidence behind CityMesh's feasibility claim.\n";
+  return 0;
+}

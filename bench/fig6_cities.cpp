@@ -1,0 +1,76 @@
+// Figure 6 reproduction: reachability, deliverability, and transmission
+// overhead between pairs of buildings across the ten city profiles.
+//
+// Protocol (matching §4): 50 m symmetric transmission range, 1 AP / 200 m^2.
+// 1000 random building pairs test reachability over the AP graph; 50 of the
+// reachable pairs run through the full event simulation for deliverability
+// and transmission overhead.
+//
+// Paper shape to reproduce: most cities have high reachability and, given
+// reachability, high deliverability; water-fractured cities (Washington
+// D.C.) show depressed reachability; median overhead is O(10x) (the paper
+// reports 13x) against the ideal unicast path.
+//
+// Pass city names as arguments to restrict the run (default: all ten).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "geo/stats.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace osmx = citymesh::osmx;
+namespace viz = citymesh::viz;
+
+int main(int argc, char** argv) {
+  std::cout << "CityMesh reproduction - Figure 6 (per-city evaluation)\n"
+            << "range 50 m, density 1 AP/200 m^2, 1000 reachability pairs,\n"
+            << "50 deliverability pairs per city\n";
+
+  std::vector<osmx::CityProfile> profiles;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) profiles.push_back(osmx::profile_by_name(argv[i]));
+  } else {
+    profiles = osmx::default_profiles();
+  }
+
+  core::EvaluationConfig cfg;
+  cfg.reachability_pairs = 1000;
+  cfg.deliverability_pairs = 50;
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> all_overheads;
+  for (const auto& profile : profiles) {
+    const auto city = osmx::generate_city(profile);
+    const auto eval = core::evaluate_city(city, cfg);
+    rows.push_back({eval.city, std::to_string(eval.buildings), std::to_string(eval.aps),
+                    std::to_string(eval.ap_major_islands), viz::fmt(eval.reachability(), 3),
+                    viz::fmt(eval.deliverability(), 3),
+                    eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1),
+                    eval.header_bits.empty() ? "-"
+                                             : viz::fmt(eval.median_header_bits(), 0)});
+    all_overheads.insert(all_overheads.end(), eval.overheads.begin(),
+                         eval.overheads.end());
+    std::cout << "  [" << eval.city << "] done: reach=" << viz::fmt(eval.reachability(), 3)
+              << " deliver=" << viz::fmt(eval.deliverability(), 3) << std::endl;
+  }
+
+  viz::print_table(std::cout,
+                   "Figure 6: reachability / deliverability / overhead per city",
+                   {"city", "buildings", "APs", "islands", "reach", "deliver",
+                    "overhead(med)", "hdr bits(med)"},
+                   rows);
+
+  if (!all_overheads.empty()) {
+    std::cout << "\nPooled median transmission overhead: "
+              << viz::fmt(citymesh::geo::median(all_overheads), 1)
+              << "x  (paper: 13x vs the ideal unicast route)\n";
+  }
+  std::cout << "Expected shape: near-1.0 reachability and >0.8 deliverability for\n"
+            << "contiguous cities; washington_dc fractured by its unbridged river\n"
+            << "(depressed reachability, more islands).\n";
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the CityMesh
+// stack: route planning, conduit compression, the per-packet rebroadcast
+// decision, header codec, spatial queries, the event engine, and the crypto
+// primitives. These are the operations a real AP agent or sender executes
+// per packet, so their costs bound achievable forwarding rates.
+#include <benchmark/benchmark.h>
+
+#include "core/ap_agent.hpp"
+#include "core/building_graph.hpp"
+#include "core/conduit.hpp"
+#include "core/route_planner.hpp"
+#include "cryptox/chacha20.hpp"
+#include "cryptox/sealed.hpp"
+#include "cryptox/sha256.hpp"
+#include "geo/rng.hpp"
+#include "geo/spatial_grid.hpp"
+#include "osmx/citygen.hpp"
+#include "sim/simulator.hpp"
+#include "wire/packet.hpp"
+
+namespace core = citymesh::core;
+namespace osmx = citymesh::osmx;
+namespace geo = citymesh::geo;
+namespace wire = citymesh::wire;
+namespace cryptox = citymesh::cryptox;
+
+namespace {
+
+const osmx::City& boston() {
+  static const osmx::City city = osmx::generate_city(osmx::profile_by_name("boston"));
+  return city;
+}
+
+const core::BuildingGraph& boston_map() {
+  static const core::BuildingGraph map{boston(), {}};
+  return map;
+}
+
+wire::PacketHeader typical_header() {
+  wire::PacketHeader h;
+  h.message_id = 0x1234abcd;
+  h.postbox_tag = 0x9876fedc;
+  h.waypoints = {40210, 40180, 39920, 39410, 38900, 38350, 38100};
+  return h;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- planning ---
+
+static void BM_RoutePlan(benchmark::State& state) {
+  const core::RoutePlanner planner{boston_map(), {}};
+  geo::Rng rng{1};
+  const auto n = boston_map().building_count();
+  for (auto _ : state) {
+    const auto a = static_cast<core::BuildingId>(rng.uniform_int(n));
+    const auto b = static_cast<core::BuildingId>(rng.uniform_int(n));
+    benchmark::DoNotOptimize(planner.plan(a, b));
+  }
+}
+BENCHMARK(BM_RoutePlan)->Unit(benchmark::kMillisecond);
+
+static void BM_ConduitCompress(benchmark::State& state) {
+  const auto& map = boston_map();
+  // One long fixed route.
+  geo::Rng rng{2};
+  std::vector<core::BuildingId> route;
+  const core::RoutePlanner planner{map, {}};
+  while (route.size() < 20) {
+    const auto a = static_cast<core::BuildingId>(rng.uniform_int(map.building_count()));
+    const auto b = static_cast<core::BuildingId>(rng.uniform_int(map.building_count()));
+    const auto planned = planner.plan_uncompressed(a, b);
+    if (planned) route = planned->buildings;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compress_route(route, map, {}));
+  }
+  state.SetLabel(std::to_string(route.size()) + " buildings");
+}
+BENCHMARK(BM_ConduitCompress);
+
+static void BM_RebroadcastDecision(benchmark::State& state) {
+  const auto& map = boston_map();
+  // A real cross-town route's header so the conduit count is representative.
+  // The very last ids can sit across the river from building 0; walk back
+  // until a spanning route exists.
+  const core::RoutePlanner planner{map, {}};
+  std::optional<core::PlannedRoute> route;
+  for (auto target = static_cast<core::BuildingId>(map.building_count() - 1);
+       target > 0 && (!route || route->waypoints.size() < 4); --target) {
+    route = planner.plan(0, target);
+  }
+  wire::PacketHeader h = typical_header();
+  if (route) h.waypoints = route->waypoints;
+  const auto building = static_cast<core::BuildingId>(map.building_count() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::should_rebroadcast(h, map, building));
+  }
+  state.SetLabel(std::to_string(h.waypoints.size()) + " waypoints");
+}
+BENCHMARK(BM_RebroadcastDecision);
+
+static void BM_BuildingGraphConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::BuildingGraph map{boston(), {}};
+    benchmark::DoNotOptimize(map.graph().edge_count());
+  }
+  state.SetLabel(std::to_string(boston().building_count()) + " buildings");
+}
+BENCHMARK(BM_BuildingGraphConstruction)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- codec ---
+
+static void BM_HeaderEncode(benchmark::State& state) {
+  const auto h = typical_header();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_header(h));
+  }
+}
+BENCHMARK(BM_HeaderEncode);
+
+static void BM_HeaderDecode(benchmark::State& state) {
+  const auto enc = wire::encode_header(typical_header());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_header(enc.bytes));
+  }
+}
+BENCHMARK(BM_HeaderDecode);
+
+// -------------------------------------------------------------- spatial ---
+
+static void BM_SpatialGridQuery(benchmark::State& state) {
+  geo::Rng rng{3};
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < 20000; ++i) {
+    pts.push_back({rng.uniform(0, 3000), rng.uniform(0, 3000)});
+  }
+  const geo::SpatialGrid grid{50.0, pts};
+  for (auto _ : state) {
+    const geo::Point c{rng.uniform(0, 3000), rng.uniform(0, 3000)};
+    benchmark::DoNotOptimize(grid.query_radius(c, 50.0));
+  }
+}
+BENCHMARK(BM_SpatialGridQuery);
+
+// --------------------------------------------------------------- engine ---
+
+static void BM_EventEngineThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    citymesh::sim::Simulator s;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) s.schedule_in(1e-3, tick);
+    };
+    s.schedule_at(0.0, tick);
+    s.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventEngineThroughput)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------- crypto ---
+
+static void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cryptox::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+static void BM_ChaCha20_1KiB(benchmark::State& state) {
+  const cryptox::ChaChaKey key{1, 2, 3};
+  const cryptox::ChaChaNonce nonce{4, 5};
+  std::vector<std::uint8_t> data(1024, 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cryptox::chacha20_xor(key, nonce, 1, data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ChaCha20_1KiB);
+
+static void BM_X25519SharedSecret(benchmark::State& state) {
+  const auto a = cryptox::KeyPair::from_seed(1);
+  const auto b = cryptox::KeyPair::from_seed(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.shared_secret(b.public_key()));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+static void BM_SealUnseal(benchmark::State& state) {
+  const auto alice = cryptox::KeyPair::from_seed(1);
+  const auto bob = cryptox::KeyPair::from_seed(2);
+  const std::string msg(256, 'm');
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto sealed = cryptox::seal(alice, bob.public_key(), msg, ++seed);
+    benchmark::DoNotOptimize(cryptox::unseal(bob, sealed));
+  }
+}
+BENCHMARK(BM_SealUnseal);

@@ -1,0 +1,64 @@
+// Table 1 reproduction: "Summary of collected data for measurements."
+//
+// Runs the synthetic wardriving survey over the Boston profile and prints
+// per-dataset measurement and unique-AP counts, next to the paper's numbers.
+//
+// Paper (Boston-area wardriving):
+//   downtown    2,691 measurements   26,532 unique APs
+//   campus        726                 2,399
+//   residential   461                10,333
+//   river         550                 4,794
+//   all         4,428                40,158
+#include <iostream>
+
+#include "measure/survey.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+namespace osmx = citymesh::osmx;
+namespace measure = citymesh::measure;
+namespace viz = citymesh::viz;
+
+namespace {
+
+std::string paper_row(osmx::AreaType t) {
+  switch (t) {
+    case osmx::AreaType::kDowntown: return "2691 / 26532";
+    case osmx::AreaType::kCampus: return "726 / 2399";
+    case osmx::AreaType::kResidential: return "461 / 10333";
+    case osmx::AreaType::kRiver: return "550 / 4794";
+    default: return "4428 / 40158";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CityMesh reproduction - Table 1 (measurement-study summary)\n"
+            << "City model: synthetic 'boston' profile (see DESIGN.md for the\n"
+            << "OSM-data substitution rationale).\n";
+
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const measure::SurveyConfig config;
+  const auto datasets = measure::run_survey(city, config);
+  const auto all = measure::merge_datasets(datasets);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& d : datasets) {
+    rows.push_back({d.name, std::to_string(d.measurement_count()),
+                    std::to_string(d.unique_aps()), paper_row(d.area)});
+  }
+  rows.push_back({"all", std::to_string(all.measurement_count()),
+                  std::to_string(all.unique_aps()), paper_row(osmx::AreaType::kOther)});
+
+  viz::print_table(std::cout, "Table 1: collected data per survey area",
+                   {"Dataset", "# Measurements", "# Unique APs",
+                    "paper (# meas / # APs)"},
+                   rows);
+
+  std::cout << "\nExpected shape: measurement counts match the paper's quotas by\n"
+            << "construction; unique-AP counts scale with area density, with\n"
+            << "downtown >> campus and the ordering downtown > residential-area\n"
+            << "rates preserved.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Run the §2-style wardriving survey over any city profile and print the
+// Table-1 summary plus Figure-1 CDFs for that city.
+//
+// Usage:  ./build/examples/city_survey [profile-name]
+//         (default "boston"; see `osmx::default_profiles()` for the list)
+#include <iostream>
+
+#include "geo/stats.hpp"
+#include "measure/survey.hpp"
+#include "measure/survey_stats.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+using namespace citymesh;
+
+int main(int argc, char** argv) {
+  const std::string profile_name = argc > 1 ? argv[1] : "boston";
+  osmx::CityProfile profile;
+  try {
+    profile = osmx::profile_by_name(profile_name);
+  } catch (const std::out_of_range&) {
+    std::cerr << "unknown profile '" << profile_name << "'. available:";
+    for (const auto& p : osmx::default_profiles()) std::cerr << ' ' << p.name;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  const auto city = osmx::generate_city(profile);
+  std::cout << "surveying " << city.name() << " (" << city.building_count()
+            << " buildings, " << viz::fmt(city.extent().width() / 1000.0, 1) << " x "
+            << viz::fmt(city.extent().height() / 1000.0, 1) << " km)\n";
+
+  const auto datasets = measure::run_survey(city, {});
+  if (datasets.empty()) {
+    std::cout << "this profile has no labeled survey regions\n";
+    return 0;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& d : datasets) {
+    rows.push_back({d.name, std::to_string(d.measurement_count()),
+                    std::to_string(d.unique_aps())});
+  }
+  const auto all = measure::merge_datasets(datasets);
+  rows.push_back({"all", std::to_string(all.measurement_count()),
+                  std::to_string(all.unique_aps())});
+  viz::print_table(std::cout, "Survey summary (Table-1 style)",
+                   {"Dataset", "# Measurements", "# Unique APs"}, rows);
+
+  std::vector<viz::CdfSeries> macs;
+  std::vector<viz::CdfSeries> spreads;
+  for (const auto& d : datasets) {
+    macs.push_back({d.name, measure::macs_per_measurement(d)});
+    spreads.push_back({d.name, measure::spread_per_ap(d)});
+  }
+  viz::print_cdf(std::cout, "CDF: MACs per measurement (Figure-1a style)", macs,
+                 "# MAC addresses");
+  viz::print_cdf(std::cout, "CDF: per-AP spread (Figure-1b style)", spreads,
+                 "spread (m)");
+
+  std::cout << "\nImplied transmission radii (median spread / 2):\n";
+  for (auto& s : spreads) {
+    std::cout << "  " << s.label << ": " << viz::fmt(geo::median(s.values) / 2.0, 1)
+              << " m\n";
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Roaming device walkthrough: the full §3 step 4 mobility story.
+//
+// Bob's postbox lives at his home building; his phone does not. As he moves
+// through the city it attaches wherever it is, checks in (location update),
+// and pulls pending mail: the home postbox agent relays everything over the
+// mesh to wherever Bob currently is, where only his device can decrypt it.
+//
+// Usage:  ./build/examples/roaming_device
+#include <iostream>
+
+#include "apps/device.hpp"
+#include "cryptox/sealed.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+using namespace citymesh;
+
+int main() {
+  osmx::CityProfile profile;
+  profile.name = "roam-town";
+  profile.width_m = 1400;
+  profile.height_m = 1100;
+  profile.park_fraction = 0.0;
+  profile.seed = 9;
+  const auto city = osmx::generate_city(profile);
+
+  core::NetworkConfig cfg;
+  cfg.placement.density_per_m2 = 1.0 / 120.0;
+  core::CityMeshNetwork net{city, cfg};
+  std::cout << "== roaming device over " << city.name() << " ("
+            << net.aps().ap_count() << " APs) ==\n\n";
+
+  const auto building_near = [&](double fx, double fy) {
+    core::BuildingId best = 0;
+    double best_d = 1e18;
+    const geo::Point target{city.extent().width() * fx, city.extent().height() * fy};
+    for (const auto& b : city.buildings()) {
+      const double d = geo::distance(b.centroid, target);
+      if (d < best_d) {
+        best_d = d;
+        best = b.id;
+      }
+    }
+    return best;
+  };
+
+  // Bob's home is in the north-east; Alice lives in the south-west.
+  apps::MobileDevice bob{net, cryptox::KeyPair::from_seed(2), building_near(0.85, 0.85)};
+  const auto alice = cryptox::KeyPair::from_seed(1);
+  const auto alice_home = building_near(0.15, 0.15);
+  if (!bob.online()) {
+    std::cerr << "bob's home has no APs\n";
+    return 1;
+  }
+  std::cout << "bob's postbox: building " << bob.home() << " (north-east)\n";
+
+  // While Bob is out, Alice sends two sealed messages to his *postbox*.
+  for (const std::string_view text :
+       {"water main broke on elm st", "shelter opens at 6pm"}) {
+    const auto sealed = cryptox::seal(alice, bob.home_info().public_key, text, 40 + text.size());
+    const auto blob = sealed.serialize();
+    const auto sent = net.send(alice_home, bob.home_info(), {blob.data(), blob.size()});
+    std::cout << "alice -> bob's postbox: " << (sent.delivered ? "stored" : "LOST")
+              << " (\"" << text << "\")\n";
+  }
+
+  // Bob wanders: clinic (center), then the shelter (south-west).
+  std::cout << "\nbob moves to the clinic (center) and checks in...\n";
+  if (!bob.move_to(building_near(0.5, 0.5))) {
+    std::cerr << "  attach failed\n";
+    return 1;
+  }
+  auto sync = bob.sync();
+  std::cout << "  sync: " << sync.forwarded << " message(s) relayed "
+            << "from home to building " << bob.location() << '\n';
+  for (const auto& text : sync.texts) std::cout << "  bob reads: \"" << text << "\"\n";
+
+  // New mail lands at home after the sync; the next stop picks it up.
+  const auto late = cryptox::seal(alice, bob.home_info().public_key,
+                                  "bring your documents", 99);
+  const auto late_blob = late.serialize();
+  net.send(alice_home, bob.home_info(), {late_blob.data(), late_blob.size()});
+
+  std::cout << "\nbob moves to the shelter (south-west) and checks in...\n";
+  if (!bob.move_to(building_near(0.2, 0.2))) {
+    std::cerr << "  attach failed\n";
+    return 1;
+  }
+  sync = bob.sync();
+  std::cout << "  sync: " << sync.forwarded << " message(s) relayed\n";
+  for (const auto& text : sync.texts) std::cout << "  bob reads: \"" << text << "\"\n";
+
+  std::cout << "\n(the mesh only ever carried ciphertext; the home postbox\n"
+            << " learned bob's location from his check-ins and forwarded mail\n"
+            << " without being able to read it)\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Signed emergency bulletins — the paper's "emergency broadcast messages"
+// application (§1), hardened with its own security principle: bulletins are
+// Ed25519-signed by an authority whose *identity is the hash of its verify
+// key*, distributed out-of-band before the outage (on paper, in the
+// firmware, on a poster in city hall). Any device can verify a bulletin
+// offline — no certificate authority, no connectivity beyond the mesh.
+//
+// Transport is the geo-broadcast primitive: the serialized signed bulletin
+// floods a disc around a center building and lands in every postbox there.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/network.hpp"
+#include "cryptox/ed25519.hpp"
+#include "cryptox/sha256.hpp"
+
+namespace citymesh::apps {
+
+enum class Severity : std::uint8_t {
+  kAdvisory = 0,
+  kWarning = 1,
+  kEvacuate = 2,
+};
+
+std::string_view to_string(Severity s);
+
+/// A signed, self-certifying emergency bulletin.
+struct Bulletin {
+  std::uint32_t sequence = 0;        ///< authority-local monotonic counter
+  double issued_at_s = 0.0;          ///< simulation time of issue
+  Severity severity = Severity::kAdvisory;
+  osmx::BuildingId center = 0;       ///< geographic anchor
+  std::uint32_t radius_m = 0;
+  std::string title;
+  std::string body;
+  cryptox::Ed25519PublicKey authority{};  ///< issuer's verify key
+  cryptox::Ed25519Signature signature{};
+
+  /// Byte serialization (signature covers everything before it).
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<Bulletin> deserialize(std::span<const std::uint8_t> bytes);
+
+  /// The digest the authority signs.
+  std::vector<std::uint8_t> signed_bytes() const;
+
+  /// Verify the embedded signature against the embedded authority key.
+  /// (Whether that *authority* is trusted is the verifier's separate check.)
+  bool signature_valid() const;
+
+  bool operator==(const Bulletin&) const = default;
+};
+
+/// Issuer side: holds the signing key and a sequence counter.
+class BulletinAuthority {
+ public:
+  explicit BulletinAuthority(cryptox::Ed25519KeyPair keys) : keys_(std::move(keys)) {}
+  static BulletinAuthority from_seed(std::uint64_t seed) {
+    return BulletinAuthority{cryptox::Ed25519KeyPair::from_seed(seed)};
+  }
+
+  const cryptox::Ed25519PublicKey& public_key() const { return keys_.public_key(); }
+  /// Self-certifying authority id = SHA-256(verify key).
+  cryptox::Digest256 id() const { return cryptox::Sha256::hash(keys_.public_key()); }
+
+  /// Create and sign a bulletin (assigns the next sequence number).
+  Bulletin issue(Severity severity, osmx::BuildingId center, std::uint32_t radius_m,
+                 std::string title, std::string body, double issued_at_s);
+
+ private:
+  cryptox::Ed25519KeyPair keys_;
+  std::uint32_t next_sequence_ = 1;
+};
+
+/// Receiver side: verifies bulletins against a set of trusted authority ids
+/// and enforces per-authority sequence monotonicity (anti-replay).
+class BulletinVerifier {
+ public:
+  /// Trust an authority by its self-certifying id.
+  void trust(const cryptox::Digest256& authority_id);
+
+  enum class Result : std::uint8_t {
+    kAccepted,
+    kMalformed,
+    kBadSignature,
+    kUntrustedAuthority,
+    kReplayed,  ///< sequence not newer than the last accepted one
+  };
+
+  /// Validate a received serialized bulletin; on acceptance returns the
+  /// parsed bulletin and updates the replay floor.
+  std::pair<Result, std::optional<Bulletin>> accept(std::span<const std::uint8_t> bytes);
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const cryptox::Digest256& d) const {
+      std::size_t h = 0;
+      for (int i = 0; i < 8; ++i) h = (h << 8) | d[i];
+      return h;
+    }
+  };
+  std::unordered_set<cryptox::Digest256, DigestHash> trusted_;
+  std::unordered_map<std::string, std::uint32_t> last_sequence_;  // by authority hex
+};
+
+/// Issue + geo-broadcast a bulletin through the network in one call.
+core::BroadcastOutcome publish_bulletin(core::CityMeshNetwork& network,
+                                        BulletinAuthority& authority,
+                                        osmx::BuildingId from_building,
+                                        Severity severity, osmx::BuildingId center,
+                                        std::uint32_t radius_m, std::string title,
+                                        std::string body);
+
+}  // namespace citymesh::apps

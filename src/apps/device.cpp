@@ -1,0 +1,51 @@
+#include "apps/device.hpp"
+
+namespace citymesh::apps {
+
+MobileDevice::MobileDevice(core::CityMeshNetwork& network, cryptox::KeyPair identity,
+                           osmx::BuildingId home_building)
+    : network_(&network),
+      identity_(std::move(identity)),
+      home_info_(core::PostboxInfo::for_key(identity_, home_building)),
+      home_box_(network.register_postbox(home_info_)),
+      current_building_(home_building),
+      current_box_(home_box_) {}
+
+bool MobileDevice::move_to(osmx::BuildingId building) {
+  if (!online()) return false;
+  const auto temp_info = core::PostboxInfo::for_key(identity_, building);
+  auto box = network_->register_postbox(temp_info);
+  if (!box) return false;  // no APs there; stay attached where we were
+  current_building_ = building;
+  current_box_ = std::move(box);
+  if (building == home_info_.building) return true;
+  return network_->send_location_update(home_info_, building).delivered;
+}
+
+void MobileDevice::collect_from(const std::shared_ptr<core::Postbox>& box,
+                                SyncResult& out) {
+  for (const auto& stored : box->retrieve()) {
+    if (stored.flags &
+        static_cast<std::uint8_t>(citymesh::wire::PacketFlag::kLocationUpdate)) {
+      continue;
+    }
+    const auto sealed = cryptox::SealedMessage::deserialize(stored.sealed_payload);
+    if (!sealed) continue;
+    if (const auto text = cryptox::unseal_text(identity_, *sealed)) {
+      out.texts.push_back(*text);
+    }
+  }
+}
+
+MobileDevice::SyncResult MobileDevice::sync() {
+  SyncResult result;
+  if (!online()) return result;
+  if (current_building_ != home_info_.building) {
+    const auto temp_info = core::PostboxInfo::for_key(identity_, current_building_);
+    result.forwarded = network_->forward_pending(home_info_, temp_info);
+  }
+  collect_from(current_box_, result);
+  return result;
+}
+
+}  // namespace citymesh::apps

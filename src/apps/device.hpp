@@ -1,0 +1,57 @@
+// A mobile device roaming the mesh (§3 step 4's dynamics, end to end).
+//
+// The paper's model: Bob's *postbox* stays at a fixed building; his *device*
+// moves. Whenever the device checks in from a new building it (a) registers
+// a temporary postbox there under the same identity, (b) sends a location
+// update home so the home postbox knows where to push urgent mail, and (c)
+// can pull pending mail: the home postbox agent forwards everything to the
+// device's current building over the mesh, where the device decrypts it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "cryptox/sealed.hpp"
+
+namespace citymesh::apps {
+
+class MobileDevice {
+ public:
+  /// Bind the identity to its home postbox. online() is false when the home
+  /// building has no APs.
+  MobileDevice(core::CityMeshNetwork& network, cryptox::KeyPair identity,
+               osmx::BuildingId home_building);
+
+  bool online() const { return home_box_ != nullptr; }
+  osmx::BuildingId home() const { return home_info_.building; }
+  osmx::BuildingId location() const { return current_building_; }
+  const core::PostboxInfo& home_info() const { return home_info_; }
+
+  /// Travel to a building: attach there (temporary postbox) and send a
+  /// location update home. Returns false when the new building has no APs
+  /// or the location update could not be delivered (the device is then
+  /// attached but its home postbox has a stale location).
+  bool move_to(osmx::BuildingId building);
+
+  struct SyncResult {
+    std::size_t forwarded = 0;  ///< messages the home postbox relayed here
+    std::vector<std::string> texts;  ///< successfully decrypted payloads
+  };
+
+  /// Pull pending mail from home to the current location and decrypt it.
+  /// At home this reads the home postbox directly (no mesh traffic).
+  SyncResult sync();
+
+ private:
+  void collect_from(const std::shared_ptr<core::Postbox>& box, SyncResult& out);
+
+  core::CityMeshNetwork* network_;
+  cryptox::KeyPair identity_;
+  core::PostboxInfo home_info_;
+  std::shared_ptr<core::Postbox> home_box_;
+  osmx::BuildingId current_building_ = 0;
+  std::shared_ptr<core::Postbox> current_box_;
+};
+
+}  // namespace citymesh::apps

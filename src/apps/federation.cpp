@@ -1,0 +1,135 @@
+#include "apps/federation.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace citymesh::apps {
+
+std::size_t Federation::add_region(std::string name, const osmx::City& city,
+                                   const core::NetworkConfig& config) {
+  regions_.push_back(std::make_unique<Region>(std::move(name), city, config));
+  gateways_.emplace_back();
+  links_.emplace_back();
+  return regions_.size() - 1;
+}
+
+std::optional<std::size_t> Federation::ensure_gateway(std::size_t region,
+                                                      osmx::BuildingId building) {
+  auto& gateways = gateways_.at(region);
+  for (std::size_t i = 0; i < gateways.size(); ++i) {
+    if (gateways[i].building == building) return i;
+  }
+  Gateway gw;
+  gw.building = building;
+  const auto keys = cryptox::KeyPair::from_seed(next_gateway_seed_++);
+  gw.info = core::PostboxInfo::for_key(keys, building);
+  gw.postbox = regions_[region]->network.register_postbox(gw.info);
+  if (!gw.postbox) return std::nullopt;
+  gateways.push_back(std::move(gw));
+  return gateways.size() - 1;
+}
+
+bool Federation::add_link(const RegionLink& link) {
+  if (link.region_a >= regions_.size() || link.region_b >= regions_.size() ||
+      link.region_a == link.region_b) {
+    return false;
+  }
+  const auto ga = ensure_gateway(link.region_a, link.gateway_a);
+  const auto gb = ensure_gateway(link.region_b, link.gateway_b);
+  if (!ga || !gb) return false;
+  links_[link.region_a].push_back(
+      {link.region_b, *ga, *gb, link.latency_s, link.loss_probability});
+  links_[link.region_b].push_back(
+      {link.region_a, *gb, *ga, link.latency_s, link.loss_probability});
+  return true;
+}
+
+std::shared_ptr<core::Postbox> Federation::register_postbox(
+    const FederatedAddress& address) {
+  if (address.region >= regions_.size()) return nullptr;
+  return regions_[address.region]->network.register_postbox(address.postbox);
+}
+
+FederatedOutcome Federation::send(const FederatedAddress& from,
+                                  const FederatedAddress& to,
+                                  std::span<const std::uint8_t> payload) {
+  FederatedOutcome outcome;
+  if (from.region >= regions_.size() || to.region >= regions_.size()) return outcome;
+
+  // --- Region-level route: BFS over the link graph, remembering the link
+  // taken into each region.
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> prev_region(regions_.size(), kNone);
+  std::vector<const Link*> via_link(regions_.size(), nullptr);
+  std::vector<bool> visited(regions_.size(), false);
+  std::queue<std::size_t> frontier;
+  visited[from.region] = true;
+  frontier.push(from.region);
+  while (!frontier.empty()) {
+    const std::size_t r = frontier.front();
+    frontier.pop();
+    if (r == to.region) break;
+    for (const Link& link : links_[r]) {
+      if (visited[link.peer_region]) continue;
+      visited[link.peer_region] = true;
+      prev_region[link.peer_region] = r;
+      via_link[link.peer_region] = &link;
+      frontier.push(link.peer_region);
+    }
+  }
+  if (!visited[to.region]) return outcome;
+
+  // Reconstruct the region path and the inbound link per hop.
+  std::vector<std::size_t> path;
+  for (std::size_t r = to.region; r != kNone; r = prev_region[r]) path.push_back(r);
+  std::reverse(path.begin(), path.end());
+  for (const std::size_t r : path) outcome.region_path.push_back(regions_[r]->name);
+
+  // --- Walk the legs. Within a region we go from the current building to
+  // either the next hop's outbound gateway or (in the final region) the
+  // destination postbox.
+  outcome.route_found = true;  // falsified below if any leg cannot route
+  osmx::BuildingId current_building = from.postbox.building;
+  for (std::size_t hop = 0; hop < path.size(); ++hop) {
+    const std::size_t region = path[hop];
+    auto& net = regions_[region]->network;
+    const bool last = hop + 1 == path.size();
+
+    if (last) {
+      const auto leg = net.send(current_building, to.postbox, payload);
+      outcome.mesh_transmissions += leg.transmissions;
+      outcome.latency_s += leg.delivery_time_s;
+      outcome.route_found = outcome.route_found && leg.route_found;
+      outcome.delivered = leg.delivered;
+      return outcome;
+    }
+
+    // The link that carries us out of `region` toward path[hop+1]. BFS set
+    // via_link[next] while scanning links_[region], so the record's indices
+    // are local to this region (gateway_index) and the next
+    // (peer_gateway_index).
+    const Link* outbound = via_link[path[hop + 1]];
+    const Gateway& local_gateway = gateways_[region][outbound->gateway_index];
+    const Gateway& remote_gateway = gateways_[path[hop + 1]][outbound->peer_gateway_index];
+
+    // Leg A: mesh from the current building to the local gateway postbox
+    // (skip when we are already at the gateway building).
+    if (current_building != local_gateway.building) {
+      const auto leg = net.send(current_building, local_gateway.info, payload);
+      outcome.mesh_transmissions += leg.transmissions;
+      outcome.latency_s += leg.delivery_time_s;
+      outcome.route_found = outcome.route_found && leg.route_found;
+      if (!leg.delivered) return outcome;
+    }
+
+    // Leg B: the long-haul link.
+    outcome.latency_s += outbound->latency_s;
+    if (outbound->loss_probability > 0.0 && rng_.chance(outbound->loss_probability)) {
+      return outcome;  // link dropped the relay; no end-to-end retransmit yet
+    }
+    current_building = remote_gateway.building;
+  }
+  return outcome;  // unreachable: the loop returns from the last hop
+}
+
+}  // namespace citymesh::apps

@@ -1,0 +1,109 @@
+// Inter-network of DFNs (§1: "how do we form an inter-network of DFNs
+// across regions?" and "what role ... should technologies such as satellite
+// networks serve ... to connect between population centers").
+//
+// A Federation stitches independent city meshes together through *gateway*
+// buildings joined by long-haul region links (satellite terminals, restored
+// point-to-point fiber, HF relays). A federated send is a chain of legs:
+//
+//   sender --CityMesh--> local gateway --link--> remote gateway --CityMesh-->
+//   ... --CityMesh--> destination postbox
+//
+// Each intra-city leg runs the full event simulation of that region's mesh;
+// the long-haul links are modeled analytically (latency + loss draw), since
+// their physics is nothing like the Wi-Fi substrate. Inter-region routing is
+// hop-count BFS over the region graph — small (tens of cities), so no
+// scalability machinery is warranted.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace citymesh::apps {
+
+/// One direction-less long-haul link between two regions' gateways.
+struct RegionLink {
+  std::size_t region_a = 0;
+  std::size_t region_b = 0;
+  osmx::BuildingId gateway_a = 0;  ///< gateway building in region_a
+  osmx::BuildingId gateway_b = 0;  ///< gateway building in region_b
+  double latency_s = 0.25;         ///< one-way (satellite bounce ~ 0.25 s)
+  double loss_probability = 0.0;   ///< per-traversal loss
+};
+
+/// A federated address: which region, which postbox.
+struct FederatedAddress {
+  std::size_t region = 0;
+  core::PostboxInfo postbox;
+};
+
+struct FederatedOutcome {
+  bool route_found = false;   ///< a region path + all local routes exist
+  bool delivered = false;
+  double latency_s = 0.0;     ///< mesh legs' delivery times + link latencies
+  std::size_t mesh_transmissions = 0;  ///< summed over all intra-city legs
+  std::vector<std::string> region_path;  ///< region names traversed
+};
+
+class Federation {
+ public:
+  /// Add a region. The city must outlive the federation. Returns its index.
+  std::size_t add_region(std::string name, const osmx::City& city,
+                         const core::NetworkConfig& config);
+
+  /// Join two regions' gateways. The gateway buildings get infrastructure
+  /// postboxes registered automatically; returns false when either gateway
+  /// building has no APs (no registration possible).
+  bool add_link(const RegionLink& link);
+
+  std::size_t region_count() const { return regions_.size(); }
+  const std::string& region_name(std::size_t index) const {
+    return regions_.at(index)->name;
+  }
+  core::CityMeshNetwork& network(std::size_t region) {
+    return regions_.at(region)->network;
+  }
+
+  /// Register a recipient postbox in its region's mesh.
+  std::shared_ptr<core::Postbox> register_postbox(const FederatedAddress& address);
+
+  /// Send a payload across the federation.
+  FederatedOutcome send(const FederatedAddress& from, const FederatedAddress& to,
+                        std::span<const std::uint8_t> payload);
+
+ private:
+  struct Region {
+    std::string name;
+    core::CityMeshNetwork network;
+    Region(std::string n, const osmx::City& city, const core::NetworkConfig& cfg)
+        : name(std::move(n)), network(city, cfg) {}
+  };
+  struct Gateway {
+    osmx::BuildingId building = 0;
+    core::PostboxInfo info;
+    std::shared_ptr<core::Postbox> postbox;
+  };
+  struct Link {
+    std::size_t peer_region;
+    std::size_t gateway_index;       ///< into gateways_[this region]
+    std::size_t peer_gateway_index;  ///< into gateways_[peer region]
+    double latency_s;
+    double loss_probability;
+  };
+
+  /// Gateway postbox in `region` for `building`, creating it if absent;
+  /// nullopt when the building has no APs.
+  std::optional<std::size_t> ensure_gateway(std::size_t region,
+                                            osmx::BuildingId building);
+
+  std::vector<std::unique_ptr<Region>> regions_;
+  std::vector<std::vector<Gateway>> gateways_;  ///< per region
+  std::vector<std::vector<Link>> links_;        ///< adjacency per region
+  geo::Rng rng_{0xFEDE};
+  std::uint64_t next_gateway_seed_ = 0xA11CE;
+};
+
+}  // namespace citymesh::apps

@@ -1,0 +1,167 @@
+#include "apps/messenger.hpp"
+
+#include <algorithm>
+
+namespace citymesh::apps {
+
+std::vector<std::uint8_t> encode_fragment(const Fragment& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFragmentHeaderBytes + f.chunk.size());
+  out.push_back(kFragmentMagic);
+  out.push_back(1);  // version
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(f.stream_id >> (8 * i)));
+  out.push_back(static_cast<std::uint8_t>(f.index));
+  out.push_back(static_cast<std::uint8_t>(f.index >> 8));
+  out.push_back(static_cast<std::uint8_t>(f.total));
+  out.push_back(static_cast<std::uint8_t>(f.total >> 8));
+  out.insert(out.end(), f.chunk.begin(), f.chunk.end());
+  return out;
+}
+
+std::optional<Fragment> decode_fragment(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFragmentHeaderBytes) return std::nullopt;
+  if (bytes[0] != kFragmentMagic || bytes[1] != 1) return std::nullopt;
+  Fragment f;
+  for (int i = 0; i < 4; ++i) f.stream_id |= static_cast<std::uint32_t>(bytes[2 + i]) << (8 * i);
+  f.index = static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
+  f.total = static_cast<std::uint16_t>(bytes[8] | (bytes[9] << 8));
+  if (f.total == 0 || f.index >= f.total) return std::nullopt;
+  f.chunk.assign(bytes.begin() + kFragmentHeaderBytes, bytes.end());
+  return f;
+}
+
+std::vector<Fragment> fragment_blob(std::span<const std::uint8_t> blob,
+                                    std::size_t mtu_bytes, std::uint32_t stream_id) {
+  if (mtu_bytes <= kFragmentHeaderBytes) {
+    throw std::invalid_argument{"fragment_blob: mtu smaller than fragment header"};
+  }
+  const std::size_t chunk_size = mtu_bytes - kFragmentHeaderBytes;
+  const std::size_t total =
+      std::max<std::size_t>(1, (blob.size() + chunk_size - 1) / chunk_size);
+  if (total > UINT16_MAX) throw std::invalid_argument{"fragment_blob: blob too large"};
+
+  std::vector<Fragment> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    Fragment f;
+    f.stream_id = stream_id;
+    f.index = static_cast<std::uint16_t>(i);
+    f.total = static_cast<std::uint16_t>(total);
+    const std::size_t begin = i * chunk_size;
+    const std::size_t end = std::min(blob.size(), begin + chunk_size);
+    f.chunk.assign(blob.begin() + begin, blob.begin() + end);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+Messenger::Messenger(core::CityMeshNetwork& network, cryptox::KeyPair identity,
+                     osmx::BuildingId home, MessengerConfig config)
+    : network_(&network),
+      identity_(std::move(identity)),
+      info_(core::PostboxInfo::for_key(identity_, home)),
+      postbox_(network.register_postbox(info_)),
+      config_(config),
+      rng_(config.seed ^ identity_.id().tag()) {}
+
+void Messenger::add_contact(std::string name, core::PostboxInfo info) {
+  contacts_[std::move(name)] = info;
+}
+
+std::optional<core::PostboxInfo> Messenger::contact(const std::string& name) const {
+  const auto it = contacts_.find(name);
+  if (it == contacts_.end()) return std::nullopt;
+  return it->second;
+}
+
+SendReport Messenger::send_text(const std::string& contact_name, std::string_view text,
+                                bool urgent) {
+  SendReport report;
+  const auto peer = contact(contact_name);
+  if (!peer) return report;
+  report.contact_known = true;
+
+  const auto sealed = cryptox::seal(identity_, peer->public_key, text, rng_.next());
+  const auto blob = sealed.serialize();
+  const auto fragments =
+      fragment_blob(blob, config_.mtu_bytes, static_cast<std::uint32_t>(rng_.next()));
+  report.fragments = fragments.size();
+
+  bool all_acked = true;
+  for (const auto& fragment : fragments) {
+    const auto payload = encode_fragment(fragment);
+    if (config_.reliable) {
+      const auto reliable = network_->send_reliable(info_.building, *peer, payload, info_);
+      for (const auto& attempt : reliable.tries) report.transmissions += attempt.transmissions;
+      if (reliable.delivered) ++report.fragments_delivered;
+      all_acked = all_acked && reliable.acknowledged;
+    } else {
+      core::SendOptions opts;
+      opts.urgent = urgent;
+      const auto outcome = network_->send(info_.building, *peer, payload, opts);
+      report.transmissions += outcome.transmissions;
+      if (outcome.delivered) ++report.fragments_delivered;
+      all_acked = false;
+    }
+  }
+  report.acknowledged = config_.reliable && all_acked;
+  return report;
+}
+
+std::optional<ReceivedMessage> Messenger::finish_blob(std::span<const std::uint8_t> blob,
+                                                      bool urgent, double at_s) {
+  const auto sealed = cryptox::SealedMessage::deserialize(blob);
+  if (!sealed) return std::nullopt;
+  const auto text = cryptox::unseal_text(identity_, *sealed);
+  if (!text) return std::nullopt;
+
+  ReceivedMessage msg;
+  msg.sender_id = sealed->sender_id;
+  msg.text = *text;
+  msg.urgent = urgent;
+  msg.received_at_s = at_s;
+  msg.from = sealed->sender_id.hex().substr(0, 12);
+  for (const auto& [name, info] : contacts_) {
+    if (info.id == sealed->sender_id) {
+      msg.from = name;
+      break;
+    }
+  }
+  return msg;
+}
+
+std::vector<ReceivedMessage> Messenger::check_mail() {
+  std::vector<ReceivedMessage> out;
+  if (!postbox_) return out;
+  for (const auto& stored : postbox_->retrieve()) {
+    const auto fragment = decode_fragment(stored.sealed_payload);
+    if (!fragment) {
+      // Not fragment-framed (e.g. an ack or a raw-API message): try to
+      // interpret the payload as one complete sealed blob.
+      if (auto msg = finish_blob(stored.sealed_payload, stored.urgent, stored.stored_at_s)) {
+        out.push_back(std::move(*msg));
+      }
+      continue;
+    }
+    auto& entry = reassembly_[fragment->stream_id];
+    if (entry.chunks.empty()) {
+      entry.total = fragment->total;
+      entry.first_seen_s = stored.stored_at_s;
+    }
+    if (fragment->total != entry.total) continue;  // inconsistent stream: drop
+    entry.chunks[fragment->index] = fragment->chunk;
+    if (entry.chunks.size() == entry.total) {
+      std::vector<std::uint8_t> blob;
+      for (auto& [index, chunk] : entry.chunks) {
+        blob.insert(blob.end(), chunk.begin(), chunk.end());
+      }
+      if (auto msg = finish_blob(blob, stored.urgent, stored.stored_at_s)) {
+        out.push_back(std::move(*msg));
+      }
+      reassembly_.erase(fragment->stream_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace citymesh::apps

@@ -1,0 +1,115 @@
+// Peer-to-peer messaging — the paper's headline fallback application
+// ("short peer-to-peer messaging ... to check on the safety of family and
+// friends"), built entirely on the public CityMesh API.
+//
+// The Messenger owns one identity, registers its postbox, keeps a contact
+// book (PostboxInfo exchanged out-of-band, §3 step 1), seals every message
+// to the recipient's key, and fragments payloads larger than the mesh MTU
+// into numbered chunks that the receiving side reassembles before
+// decryption. Optionally sends reliably (ack + conduit-width escalation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "cryptox/sealed.hpp"
+
+namespace citymesh::apps {
+
+struct MessengerConfig {
+  /// Maximum payload bytes per mesh packet before fragmentation kicks in.
+  std::size_t mtu_bytes = 900;
+  /// Use ack + width escalation for every outgoing fragment.
+  bool reliable = false;
+  std::uint64_t seed = 77;  ///< stream-id / ephemeral-seal randomness
+};
+
+/// A decrypted incoming message.
+struct ReceivedMessage {
+  std::string from;  ///< contact name, or sender id hex prefix if unknown
+  cryptox::SelfCertifyingId sender_id{};
+  std::string text;
+  bool urgent = false;
+  double received_at_s = 0.0;
+};
+
+/// Outcome of one logical send (possibly many fragments).
+struct SendReport {
+  bool contact_known = false;
+  std::size_t fragments = 0;
+  std::size_t fragments_delivered = 0;
+  std::size_t transmissions = 0;
+  bool acknowledged = false;  ///< all fragments acked (reliable mode only)
+  bool complete() const { return contact_known && fragments_delivered == fragments; }
+};
+
+class Messenger {
+ public:
+  /// Binds the identity to a postbox in `home`. online() reports whether
+  /// registration succeeded (the building must have APs).
+  Messenger(core::CityMeshNetwork& network, cryptox::KeyPair identity,
+            osmx::BuildingId home, MessengerConfig config = {});
+
+  bool online() const { return postbox_ != nullptr; }
+  const core::PostboxInfo& postbox_info() const { return info_; }
+  const cryptox::KeyPair& identity() const { return identity_; }
+
+  /// Register a peer (out-of-band exchange).
+  void add_contact(std::string name, core::PostboxInfo info);
+  std::optional<core::PostboxInfo> contact(const std::string& name) const;
+
+  /// Seal, fragment, and send `text` to a named contact.
+  SendReport send_text(const std::string& contact_name, std::string_view text,
+                       bool urgent = false);
+
+  /// Drain the postbox: reassemble fragments, verify + decrypt, and return
+  /// completed messages (incomplete fragment sets are held for later).
+  std::vector<ReceivedMessage> check_mail();
+
+  /// Fragment streams still waiting for missing chunks.
+  std::size_t pending_reassemblies() const { return reassembly_.size(); }
+
+ private:
+  core::CityMeshNetwork* network_;
+  cryptox::KeyPair identity_;
+  core::PostboxInfo info_;
+  std::shared_ptr<core::Postbox> postbox_;
+  MessengerConfig config_;
+  geo::Rng rng_;
+  std::map<std::string, core::PostboxInfo> contacts_;
+
+  struct Reassembly {
+    std::uint16_t total = 0;
+    std::map<std::uint16_t, std::vector<std::uint8_t>> chunks;
+    double first_seen_s = 0.0;
+  };
+  std::map<std::uint32_t, Reassembly> reassembly_;  // by stream id
+
+  std::optional<ReceivedMessage> finish_blob(std::span<const std::uint8_t> blob,
+                                             bool urgent, double at_s);
+};
+
+// ---- Fragment wire format (internal, exposed for tests) -------------------
+
+constexpr std::uint8_t kFragmentMagic = 0xCF;
+constexpr std::size_t kFragmentHeaderBytes = 1 + 1 + 4 + 2 + 2;  // magic ver stream idx total
+
+struct Fragment {
+  std::uint32_t stream_id = 0;
+  std::uint16_t index = 0;
+  std::uint16_t total = 1;
+  std::vector<std::uint8_t> chunk;
+};
+
+std::vector<std::uint8_t> encode_fragment(const Fragment& f);
+std::optional<Fragment> decode_fragment(std::span<const std::uint8_t> bytes);
+
+/// Split a blob into MTU-sized fragments under a fresh stream id.
+std::vector<Fragment> fragment_blob(std::span<const std::uint8_t> blob,
+                                    std::size_t mtu_bytes, std::uint32_t stream_id);
+
+}  // namespace citymesh::apps

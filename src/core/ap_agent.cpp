@@ -1,0 +1,115 @@
+#include "core/ap_agent.hpp"
+
+namespace citymesh::core {
+
+bool should_rebroadcast(const wire::PacketHeader& header, const BuildingGraph& map,
+                        BuildingId ap_building) {
+  if (ap_building >= map.building_count()) return false;
+  for (const BuildingId wp : header.waypoints) {
+    if (wp >= map.building_count()) return false;  // stale/foreign map
+  }
+  const ConduitPath path{header.waypoints, map, header.conduit_width_m};
+  return path.contains(map.centroid(ap_building));
+}
+
+void ApAgent::host_postbox(std::shared_ptr<Postbox> postbox) {
+  postboxes_[postbox->tag()] = std::move(postbox);
+}
+
+std::shared_ptr<Postbox> ApAgent::postbox_for_tag(std::uint32_t tag) const {
+  const auto it = postboxes_.find(tag);
+  return it == postboxes_.end() ? nullptr : it->second;
+}
+
+bool in_broadcast_region(const wire::PacketHeader& header, const BuildingGraph& map,
+                         BuildingId ap_building) {
+  if (!header.has_flag(wire::PacketFlag::kBroadcast)) return false;
+  if (header.waypoints.empty()) return false;
+  if (ap_building >= map.building_count()) return false;
+  const BuildingId center = header.waypoints.back();
+  if (center >= map.building_count()) return false;
+  return geo::distance(map.centroid(ap_building), map.centroid(center)) <=
+         static_cast<double>(header.broadcast_radius_m);
+}
+
+namespace {
+
+/// Payload layout of a kLocationUpdate message: 4-byte little-endian
+/// building id of the device's current location.
+std::optional<BuildingId> parse_location_update(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) return std::nullopt;
+  return static_cast<BuildingId>(payload[0]) |
+         (static_cast<BuildingId>(payload[1]) << 8) |
+         (static_cast<BuildingId>(payload[2]) << 16) |
+         (static_cast<BuildingId>(payload[3]) << 24);
+}
+
+}  // namespace
+
+AgentAction ApAgent::on_receive(const MeshPacket& packet, double now_s) {
+  AgentAction action;
+  wire::PacketHeader header;
+  try {
+    header = wire::decode_header(packet.header_bytes);
+  } catch (const wire::DecodeError&) {
+    action.malformed = true;
+    return action;
+  }
+  action.message_id = header.message_id;
+  action.flags = header.flags;
+
+  if (!seen_.insert(header.message_id).second) {
+    action.duplicate = true;
+    return action;
+  }
+
+  if (behavior_ == AgentBehavior::kCompromisedDrop) {
+    // A compromised node silently swallows traffic; the seen-set insert
+    // above means it also poisons retries through itself, matching the
+    // paper's threat model for routing resilience.
+    return action;
+  }
+
+  const bool is_broadcast = header.has_flag(wire::PacketFlag::kBroadcast);
+
+  // Delivery into hosted postboxes.
+  const auto store_into = [&](const std::shared_ptr<Postbox>& box) {
+    StoredMessage msg;
+    msg.message_id = header.message_id;
+    msg.urgent = header.has_flag(wire::PacketFlag::kUrgent);
+    msg.flags = header.flags;
+    msg.stored_at_s = now_s;
+    msg.sealed_payload = packet.payload;
+    if (box->store(std::move(msg))) {
+      ++action.delivered_count;
+      action.delivered = true;
+    }
+  };
+
+  if (is_broadcast) {
+    // Geo-broadcast: every postbox hosted inside the region receives a copy.
+    if (in_broadcast_region(header, *map_, building_)) {
+      for (const auto& [tag, box] : postboxes_) store_into(box);
+    }
+  } else if (!header.waypoints.empty() && building_ == header.waypoints.back()) {
+    // Unicast: this AP sits in the destination building (last waypoint) and
+    // hosts the addressed postbox.
+    if (const auto box = postbox_for_tag(header.postbox_tag)) {
+      store_into(box);
+      // A location update refreshes the postbox's cache of where its owner
+      // last checked in (§3 step 4, enabling push forwarding).
+      if (header.has_flag(wire::PacketFlag::kLocationUpdate)) {
+        if (const auto at = parse_location_update(packet.payload);
+            at && *at < map_->building_count()) {
+          box->update_owner_location(map_->centroid(*at), now_s);
+        }
+      }
+    }
+  }
+
+  action.rebroadcast = should_rebroadcast(header, *map_, building_) ||
+                       in_broadcast_region(header, *map_, building_);
+  return action;
+}
+
+}  // namespace citymesh::core

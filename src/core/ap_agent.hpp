@@ -1,0 +1,101 @@
+// The per-AP software agent (§3 step 3).
+//
+// Each AP runs the same small state machine: on receiving a CityMesh packet
+// it (1) suppresses duplicates by message id, (2) delivers to a hosted
+// postbox when the packet addresses one, and (3) rebroadcasts iff its own
+// position lies inside a conduit reconstructed from the header's waypoint
+// buildings and its cached building map. No routing tables, no neighbor
+// state — the seen-set is the agent's only mutable state.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/building_graph.hpp"
+#include "core/conduit.hpp"
+#include "core/postbox.hpp"
+#include "mesh/ap_network.hpp"
+#include "wire/packet.hpp"
+
+namespace citymesh::core {
+
+/// The rebroadcast predicate in isolation (shared with benches/tests).
+///
+/// Per §3 step 3, the decision is keyed on the AP's *building*: "only APs in
+/// buildings that fall within the geographic area of the conduits ...
+/// rebroadcast", and §4 notes "currently all the APs within a building
+/// rebroadcast". The AP therefore tests its building's map centroid against
+/// the reconstructed conduits — it needs no GPS of its own, only the map and
+/// the identity of the building it was installed in.
+bool should_rebroadcast(const wire::PacketHeader& header, const BuildingGraph& map,
+                        BuildingId ap_building);
+
+/// Geo-broadcast membership: true when the AP's building lies within the
+/// header's broadcast radius of the last waypoint's centroid. Only
+/// meaningful for packets carrying PacketFlag::kBroadcast.
+bool in_broadcast_region(const wire::PacketHeader& header, const BuildingGraph& map,
+                         BuildingId ap_building);
+
+/// A CityMesh packet on the wire: encoded header + opaque sealed payload.
+struct MeshPacket {
+  std::vector<std::uint8_t> header_bytes;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Failure-injection modes for the security experiments (§1 "Security").
+enum class AgentBehavior : std::uint8_t {
+  kNormal,
+  kCompromisedDrop,  ///< receives but never rebroadcasts or delivers
+};
+
+/// What the agent decided to do with one received packet.
+struct AgentAction {
+  bool duplicate = false;
+  bool malformed = false;
+  bool delivered = false;    ///< stored into at least one hosted postbox
+  bool rebroadcast = false;  ///< agent wants the packet retransmitted
+  /// Postboxes the packet was newly stored into (geo-broadcasts can hit
+  /// several at one AP).
+  std::size_t delivered_count = 0;
+  /// Decoded header fields, valid whenever !malformed (set even for
+  /// duplicates so the network layer can attribute the packet).
+  std::uint32_t message_id = 0;
+  std::uint8_t flags = 0;
+};
+
+class ApAgent {
+ public:
+  ApAgent(mesh::ApId id, geo::Point position, BuildingId building,
+          const BuildingGraph& map)
+      : id_(id), position_(position), building_(building), map_(&map) {}
+
+  mesh::ApId id() const { return id_; }
+  geo::Point position() const { return position_; }
+  BuildingId building() const { return building_; }
+
+  void set_behavior(AgentBehavior b) { behavior_ = b; }
+  AgentBehavior behavior() const { return behavior_; }
+
+  /// Host a postbox at this AP. The agent matches incoming packets against
+  /// hosted postbox tags.
+  void host_postbox(std::shared_ptr<Postbox> postbox);
+  std::shared_ptr<Postbox> postbox_for_tag(std::uint32_t tag) const;
+
+  /// Process one received packet at simulation time `now_s`.
+  AgentAction on_receive(const MeshPacket& packet, double now_s);
+
+  /// Number of distinct messages seen (diagnostics).
+  std::size_t seen_count() const { return seen_.size(); }
+
+ private:
+  mesh::ApId id_;
+  geo::Point position_;
+  BuildingId building_;
+  const BuildingGraph* map_;
+  AgentBehavior behavior_ = AgentBehavior::kNormal;
+  std::unordered_set<std::uint32_t> seen_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Postbox>> postboxes_;  // by tag
+};
+
+}  // namespace citymesh::core

@@ -1,0 +1,58 @@
+#include "core/building_graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/spatial_grid.hpp"
+
+namespace citymesh::core {
+
+double edge_cost(double distance_m, EdgeWeight policy) {
+  switch (policy) {
+    case EdgeWeight::kLinear: return distance_m;
+    case EdgeWeight::kSquared: return distance_m * distance_m;
+    case EdgeWeight::kCubed: return distance_m * distance_m * distance_m;
+  }
+  throw std::invalid_argument{"edge_cost: unknown policy"};
+}
+
+BuildingGraph::BuildingGraph(const osmx::City& city, const BuildingGraphConfig& config)
+    : config_(config) {
+  if (config.transmission_range_m <= 0.0) {
+    throw std::invalid_argument{"BuildingGraph: transmission range must be > 0"};
+  }
+  const auto& buildings = city.buildings();
+  centroids_.reserve(buildings.size());
+  radii_.reserve(buildings.size());
+  for (const auto& b : buildings) {
+    centroids_.push_back(b.centroid);
+    // Effective radius: half the diagonal of the bounding box, i.e. the
+    // farthest an in-building AP can sit from the centroid.
+    const auto bounds = b.footprint.bounds();
+    const double radius =
+        bounds ? 0.5 * geo::distance(bounds->min, bounds->max) : 0.0;
+    radii_.push_back(radius);
+  }
+
+  const double range = config.transmission_range_m * config.connect_factor;
+  geo::SpatialGrid grid{config.transmission_range_m * 2.0, centroids_};
+
+  graphx::GraphBuilder builder{centroids_.size()};
+  // Max possible connect distance bounds the neighborhood query.
+  double max_radius = 0.0;
+  for (const double r : radii_) max_radius = std::max(max_radius, r);
+  const double query_radius = range + 2.0 * max_radius;
+
+  for (BuildingId a = 0; a < centroids_.size(); ++a) {
+    grid.for_each_in_radius(centroids_[a], query_radius, [&](std::uint32_t b, geo::Point p) {
+      if (b <= a) return;
+      const double d = geo::distance(centroids_[a], p);
+      if (d <= range + radii_[a] + radii_[b]) {
+        builder.add_edge(a, b, edge_cost(d, config_.weight));
+      }
+    });
+  }
+  graph_ = builder.build();
+}
+
+}  // namespace citymesh::core

@@ -1,0 +1,86 @@
+#include "core/conduit.hpp"
+
+#include <stdexcept>
+
+namespace citymesh::core {
+
+std::vector<BuildingId> compress_route(const std::vector<BuildingId>& route,
+                                       const BuildingGraph& map,
+                                       const ConduitConfig& config) {
+  if (config.width_m <= 0.0) {
+    throw std::invalid_argument{"compress_route: conduit width must be > 0"};
+  }
+  if (route.size() <= 1) return route;
+
+  std::vector<BuildingId> waypoints;
+  waypoints.push_back(route.front());
+
+  std::size_t i = 0;  // index (into route) of the current waypoint
+  while (i + 1 < route.size()) {
+    const geo::Point start = map.centroid(route[i]);
+    // The *latest* j whose conduit covers every intermediate centroid.
+    // Coverage is not monotone in j (a later, better-aligned endpoint can
+    // cover buildings an earlier one missed), so scan the whole suffix —
+    // exactly the paper's "latest building in the route at which we can
+    // place the ending edge".
+    std::size_t best = i + 1;
+    for (std::size_t j = i + 2; j < route.size(); ++j) {
+      const geo::OrientedRect conduit{start, map.centroid(route[j]), config.width_m};
+      bool covers = true;
+      for (std::size_t k = i + 1; k < j; ++k) {
+        if (!conduit.contains(map.centroid(route[k]))) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) best = j;
+    }
+    waypoints.push_back(route[best]);
+    i = best;
+  }
+  return waypoints;
+}
+
+ConduitPath::ConduitPath(const std::vector<BuildingId>& waypoints, const BuildingGraph& map,
+                         double width_m)
+    : width_m_(width_m) {
+  if (width_m <= 0.0) throw std::invalid_argument{"ConduitPath: width must be > 0"};
+  conduits_.reserve(waypoints.size() > 0 ? waypoints.size() - 1 : 0);
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const geo::Point from = map.centroid(waypoints[i]);
+    const geo::Point to = map.centroid(waypoints[i + 1]);
+    if (geo::distance2(from, to) == 0.0) continue;  // coincident centroids
+    conduits_.emplace_back(from, to, width_m);
+  }
+}
+
+bool ConduitPath::contains(geo::Point p) const {
+  for (const auto& c : conduits_) {
+    if (c.contains(p)) return true;
+  }
+  return false;
+}
+
+double ConduitPath::total_length() const {
+  double total = 0.0;
+  for (const auto& c : conduits_) total += c.length();
+  return total;
+}
+
+std::optional<geo::Rect> ConduitPath::bounds() const {
+  std::optional<geo::Rect> acc;
+  for (const auto& c : conduits_) {
+    const geo::Rect b = c.bounds();
+    if (!acc) {
+      acc = b;
+    } else {
+      acc->min.x = std::min(acc->min.x, b.min.x);
+      acc->min.y = std::min(acc->min.y, b.min.y);
+      acc->max.x = std::max(acc->max.x, b.max.x);
+      acc->max.y = std::max(acc->max.y, b.max.y);
+    }
+  }
+  return acc;
+}
+
+}  // namespace citymesh::core

@@ -1,0 +1,63 @@
+// Conduit compression and reconstruction (§3 step 2, Figure 4).
+//
+// A building route (the full Dijkstra output) is compressed into *waypoint
+// buildings*. Consecutive buildings that lie in approximately the same
+// direction collapse into a single conduit: the oriented rectangle of width
+// W between two waypoints' centroids. The compression loses precision on
+// purpose — a wider region tolerates mispredicted AP connectivity between
+// buildings.
+//
+// ConduitPath is the receiver-side reconstruction: an AP takes the waypoint
+// ids from the packet header, looks up their centroids in its cached map,
+// rebuilds the rectangles, and rebroadcasts iff its own position falls
+// inside any of them (§3 step 3).
+#pragma once
+
+#include <vector>
+
+#include "core/building_graph.hpp"
+#include "geo/geometry.hpp"
+
+namespace citymesh::core {
+
+struct ConduitConfig {
+  /// Conduit width W; "comparable to the Wi-Fi transmission range, 50 m in
+  /// our implementation" (§3).
+  double width_m = 50.0;
+};
+
+/// Compress a building route into waypoint building ids.
+///
+/// Algorithm (verbatim from §3): place the starting edge of the first
+/// conduit on the centroid of the first building; find the *latest* building
+/// in the route whose conduit covers every intermediate building's centroid;
+/// that building becomes the next waypoint; repeat until the last building.
+/// The first and last buildings are always waypoints.
+std::vector<BuildingId> compress_route(const std::vector<BuildingId>& route,
+                                       const BuildingGraph& map,
+                                       const ConduitConfig& config);
+
+/// The geometric union of the conduits defined by a waypoint sequence.
+class ConduitPath {
+ public:
+  ConduitPath(const std::vector<BuildingId>& waypoints, const BuildingGraph& map,
+              double width_m);
+
+  /// True when `p` lies inside any conduit — the rebroadcast predicate.
+  bool contains(geo::Point p) const;
+
+  const std::vector<geo::OrientedRect>& conduits() const { return conduits_; }
+  double width() const { return width_m_; }
+
+  /// Sum of conduit lengths (route length proxy used by diagnostics).
+  double total_length() const;
+
+  /// Loose bounding box of the whole path; nullopt for an empty path.
+  std::optional<geo::Rect> bounds() const;
+
+ private:
+  std::vector<geo::OrientedRect> conduits_;
+  double width_m_;
+};
+
+}  // namespace citymesh::core

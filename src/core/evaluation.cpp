@@ -1,0 +1,95 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+
+#include "geo/stats.hpp"
+
+namespace citymesh::core {
+
+double CityEvaluation::median_overhead() const { return geo::median(overheads); }
+double CityEvaluation::median_header_bits() const { return geo::median(header_bits); }
+
+CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& config) {
+  CityEvaluation eval;
+  eval.city = city.name();
+  eval.buildings = city.building_count();
+
+  CityMeshNetwork network{city, config.network};
+  eval.aps = network.aps().ap_count();
+  eval.ap_islands = network.aps().components().count;
+  for (const std::size_t size : network.aps().components().sizes()) {
+    if (size >= 8) ++eval.ap_major_islands;
+  }
+
+  geo::Rng rng{config.seed};
+  const std::size_t n = city.building_count();
+  if (n < 2) return eval;
+
+  // --- Reachability over random unique building pairs --------------------
+  struct Pair {
+    BuildingId a;
+    BuildingId b;
+  };
+  std::vector<Pair> reachable_pairs;
+  for (std::size_t i = 0; i < config.reachability_pairs; ++i) {
+    const auto a = static_cast<BuildingId>(rng.uniform_int(n));
+    auto b = static_cast<BuildingId>(rng.uniform_int(n));
+    while (b == a) b = static_cast<BuildingId>(rng.uniform_int(n));
+    ++eval.pairs_tested;
+
+    const auto ap_a = network.aps().representative_ap(city, a);
+    const auto ap_b = network.aps().representative_ap(city, b);
+    if (ap_a && ap_b && network.aps().connected(*ap_a, *ap_b)) {
+      ++eval.pairs_reachable;
+      reachable_pairs.push_back({a, b});
+    }
+  }
+
+  // --- Deliverability on a subset of the reachable pairs -----------------
+  const std::size_t to_test = std::min(config.deliverability_pairs, reachable_pairs.size());
+  for (std::size_t i = 0; i < to_test; ++i) {
+    const Pair pair = reachable_pairs[i];
+    // Fresh recipient identity per pair; payloads are opaque to routing so a
+    // small fixed blob suffices (sealing is exercised by its own tests).
+    const auto keys = cryptox::KeyPair::from_seed(config.seed * 7919 + i);
+    const PostboxInfo info = PostboxInfo::for_key(keys, pair.b);
+    if (!network.register_postbox(info)) continue;
+
+    static constexpr std::string_view kPayload = "citymesh-eval-payload";
+    const std::span<const std::uint8_t> payload{
+        reinterpret_cast<const std::uint8_t*>(kPayload.data()), kPayload.size()};
+    ++eval.deliveries_attempted;
+    const SendOutcome outcome = network.send(pair.a, info, payload);
+
+    if (outcome.route_found) {
+      eval.header_bits.push_back(static_cast<double>(outcome.header_bits));
+    }
+    if (outcome.delivered) {
+      ++eval.deliveries_succeeded;
+      if (const auto oh = outcome.overhead()) eval.overheads.push_back(*oh);
+    }
+  }
+  return eval;
+}
+
+MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,
+                                        const EvaluationConfig& config,
+                                        std::size_t seed_count) {
+  MultiSeedEvaluation multi;
+  multi.city = city.name();
+  multi.seeds = seed_count;
+  for (std::size_t s = 0; s < seed_count; ++s) {
+    EvaluationConfig cfg = config;
+    cfg.seed = config.seed + s * 1000003;  // decorrelate pair sampling
+    cfg.network.placement.seed = config.network.placement.seed + s * 7919;
+    cfg.network.medium.seed = config.network.medium.seed + s * 104729;
+    const CityEvaluation eval = evaluate_city(city, cfg);
+    multi.reachability.add(eval.reachability());
+    multi.deliverability.add(eval.deliverability());
+    if (!eval.overheads.empty()) multi.median_overhead.add(eval.median_overhead());
+    if (!eval.header_bits.empty()) multi.median_header_bits.add(eval.median_header_bits());
+  }
+  return multi;
+}
+
+}  // namespace citymesh::core

@@ -1,0 +1,79 @@
+// The §4 evaluation protocol, reusable by benches, tests, and examples.
+//
+// For one city: sample building pairs and measure
+//   - reachability: does any AP path exist between the pair (AP-graph
+//     connectivity — routing-independent ground truth),
+//   - deliverability: given reachability, does the CityMesh building-routing
+//     algorithm actually deliver (full event simulation),
+//   - transmission overhead: broadcasts / ideal-unicast-hops per delivery,
+//   - header size: encoded bits of the compressed source route.
+// The paper runs 1000 pairs for reachability and 50 of the reachable pairs
+// through the full simulation (Figure 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "geo/stats.hpp"
+#include "osmx/building.hpp"
+
+namespace citymesh::core {
+
+struct EvaluationConfig {
+  std::size_t reachability_pairs = 1000;
+  std::size_t deliverability_pairs = 50;
+  NetworkConfig network;
+  std::uint64_t seed = 2024;
+};
+
+struct CityEvaluation {
+  std::string city;
+  std::size_t buildings = 0;
+  std::size_t aps = 0;
+  std::size_t ap_islands = 0;        ///< connected components of the AP graph
+  /// Components with at least 8 APs; the fragments below that are single
+  /// odd buildings, not the paper's "islands of connectivity".
+  std::size_t ap_major_islands = 0;
+
+  std::size_t pairs_tested = 0;
+  std::size_t pairs_reachable = 0;
+  double reachability() const {
+    return pairs_tested ? static_cast<double>(pairs_reachable) / pairs_tested : 0.0;
+  }
+
+  std::size_t deliveries_attempted = 0;
+  std::size_t deliveries_succeeded = 0;
+  double deliverability() const {
+    return deliveries_attempted
+               ? static_cast<double>(deliveries_succeeded) / deliveries_attempted
+               : 0.0;
+  }
+
+  std::vector<double> overheads;    ///< per successful delivery
+  std::vector<double> header_bits;  ///< per planned route
+  double median_overhead() const;
+  double median_header_bits() const;
+};
+
+/// Run the full §4 protocol on a city.
+CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& config);
+
+/// Multi-seed replication: re-runs the protocol with independent AP
+/// placements and pair samples, reporting mean and standard deviation per
+/// metric. The paper reports single realizations; this quantifies how much
+/// of Figure 6 is placement luck.
+struct MultiSeedEvaluation {
+  std::string city;
+  std::size_t seeds = 0;
+  geo::RunningStats reachability;
+  geo::RunningStats deliverability;
+  geo::RunningStats median_overhead;
+  geo::RunningStats median_header_bits;
+};
+
+MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,
+                                        const EvaluationConfig& config,
+                                        std::size_t seed_count);
+
+}  // namespace citymesh::core

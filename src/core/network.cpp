@@ -1,0 +1,325 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace citymesh::core {
+
+CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
+    : city_(&city),
+      config_(config),
+      map_(city, config.graph),
+      aps_(mesh::place_aps(city, config.placement)),
+      planner_(map_, config.conduit),
+      medium_(sim_, aps_.graph(), config.medium),
+      message_rng_(config.seed) {
+  agents_.reserve(aps_.ap_count());
+  for (const auto& ap : aps_.aps()) {
+    agents_.emplace_back(ap.id, ap.position, ap.building, map_);
+  }
+  medium_.set_delivery_handler(
+      [this](sim::NodeId to, sim::NodeId from,
+             const std::shared_ptr<const MeshPacket>& packet) {
+        handle_delivery(to, from, packet);
+      });
+}
+
+namespace {
+
+std::string registry_key(const cryptox::SelfCertifyingId& id, BuildingId building) {
+  return id.hex() + "@" + std::to_string(building);
+}
+
+}  // namespace
+
+std::shared_ptr<Postbox> CityMeshNetwork::register_postbox(const PostboxInfo& info) {
+  const auto& building_aps = aps_.aps_of_building(info.building);
+  if (building_aps.empty()) return nullptr;
+  // Idempotent per (identity, building): re-registering returns the same box.
+  const std::string key = registry_key(info.id, info.building);
+  if (const auto it = postboxes_.find(key); it != postboxes_.end()) return it->second;
+
+  auto box = std::make_shared<Postbox>(info.id);
+  for (const mesh::ApId id : building_aps) {
+    agents_[id].host_postbox(box);
+  }
+  postboxes_[key] = box;
+  primary_postboxes_.try_emplace(info.id.hex(), box);
+  return box;
+}
+
+std::shared_ptr<Postbox> CityMeshNetwork::postbox_of(
+    const cryptox::SelfCertifyingId& id) const {
+  const auto it = primary_postboxes_.find(id.hex());
+  return it == primary_postboxes_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Postbox> CityMeshNetwork::postbox_at(
+    const cryptox::SelfCertifyingId& id, BuildingId building) const {
+  const auto it = postboxes_.find(registry_key(id, building));
+  return it == postboxes_.end() ? nullptr : it->second;
+}
+
+void CityMeshNetwork::transmit_counted(mesh::ApId from,
+                                       const std::shared_ptr<const MeshPacket>& packet) {
+  ++active_.transmissions;
+  if (active_.collect_trace) active_.rebroadcast_aps.push_back(from);
+  medium_.transmit(from, packet);
+}
+
+void CityMeshNetwork::send_ack_from(mesh::ApId ap) {
+  active_.ack_sent = true;
+  wire::PacketHeader ack;
+  ack.message_id = active_.ack_message_id;
+  ack.postbox_tag = active_.ack_tag;
+  ack.conduit_width_m = active_.conduit_width_m;
+  ack.waypoints = active_.ack_waypoints;
+  ack.set_flag(wire::PacketFlag::kAck);
+  const auto encoded = wire::encode_header(ack);
+  auto packet = std::make_shared<const MeshPacket>(
+      MeshPacket{encoded.bytes, /*payload=*/{}});
+  // The originating AP marks the ack as seen (it may also deliver when the
+  // sender and recipient share a building) and always transmits it.
+  const AgentAction action = agents_[ap].on_receive(*packet, sim_.now());
+  if (action.delivered && action.message_id == active_.ack_message_id) {
+    active_.ack_delivered = true;
+  }
+  transmit_counted(ap, packet);
+}
+
+void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
+                                      const std::shared_ptr<const MeshPacket>& packet) {
+  ApAgent& agent = agents_[to];
+  const AgentAction action = agent.on_receive(*packet, sim_.now());
+  if (action.malformed) return;
+
+  if (action.duplicate) {
+    // Same-building overhearing suppression: a *nearby* AP of this building
+    // already carried the packet, so this AP's pending copy is redundant.
+    if (config_.building_suppression &&
+        aps_.ap(from).building == aps_.ap(to).building &&
+        geo::distance(aps_.ap(from).position, aps_.ap(to).position) <=
+            config_.suppression_radius_m) {
+      const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
+      if (const auto it = active_.pending.find(key); it != active_.pending.end()) {
+        *it->second = true;  // cancelled
+        active_.pending.erase(it);
+      }
+    }
+    return;
+  }
+
+  if (action.delivered) {
+    if (action.message_id == active_.message_id) {
+      active_.postboxes_reached += action.delivered_count;
+      if (!active_.delivered) {
+        active_.delivered = true;
+        active_.delivery_time_s = sim_.now();
+      }
+      if (active_.ack_message_id != 0 && !active_.ack_sent) {
+        send_ack_from(to);
+      }
+    } else if (action.message_id == active_.ack_message_id) {
+      active_.ack_delivered = true;
+    }
+  }
+
+  if (action.rebroadcast) {
+    if (!config_.building_suppression) {
+      transmit_counted(to, packet);
+    } else {
+      const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
+      auto cancelled = std::make_shared<bool>(false);
+      active_.pending[key] = cancelled;
+      const sim::SimTime backoff =
+          message_rng_.uniform(0.0, config_.suppression_backoff_s);
+      sim_.schedule_in(backoff, [this, to, packet, key, cancelled] {
+        if (*cancelled) return;
+        active_.pending.erase(key);
+        transmit_counted(to, packet);
+      });
+    }
+  } else if (active_.collect_trace) {
+    active_.received_only_aps.push_back(to);
+  }
+}
+
+SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInfo& to,
+                                      std::span<const std::uint8_t> payload,
+                                      const SendOptions& opts, std::uint8_t extra_flags,
+                                      std::uint32_t broadcast_radius_m) {
+  SendOutcome outcome;
+
+  const ConduitConfig conduit{opts.conduit_width.value_or(config_.conduit.width_m)};
+  const RoutePlanner planner{map_, conduit};
+  const auto route = opts.compress ? planner.plan(from_building, to.building)
+                                   : planner.plan_uncompressed(from_building, to.building);
+  if (!route) return outcome;
+  outcome.route_found = true;
+  outcome.route = *route;
+
+  const auto src_ap = aps_.representative_ap(*city_, from_building);
+  if (!src_ap) return outcome;
+  outcome.source_has_ap = true;
+
+  // Build the packet.
+  wire::PacketHeader header;
+  header.message_id = static_cast<std::uint32_t>(message_rng_.next());
+  header.postbox_tag = to.id.tag();
+  header.conduit_width_m = route->conduit_width_m;
+  header.waypoints = route->waypoints;
+  header.flags |= extra_flags;
+  header.broadcast_radius_m = broadcast_radius_m;
+  if (opts.urgent) header.set_flag(wire::PacketFlag::kUrgent);
+  if (opts.request_ack) header.set_flag(wire::PacketFlag::kAckRequest);
+  const auto encoded = wire::encode_header(header);
+  outcome.header_bits = encoded.bit_count;
+
+  auto packet = std::make_shared<const MeshPacket>(MeshPacket{
+      encoded.bytes, std::vector<std::uint8_t>{payload.begin(), payload.end()}});
+
+  outcome.message_id = header.message_id;
+
+  // Reset per-send bookkeeping.
+  active_ = ActiveSend{};
+  active_.message_id = header.message_id;
+  active_.collect_trace = opts.collect_trace;
+  active_.conduit_width_m = route->conduit_width_m;
+  if (opts.request_ack && opts.ack_to) {
+    active_.ack_message_id = static_cast<std::uint32_t>(message_rng_.next());
+    if (active_.ack_message_id == 0) active_.ack_message_id = 1;
+    active_.ack_tag = opts.ack_to->id.tag();
+    active_.ack_waypoints.assign(route->waypoints.rbegin(), route->waypoints.rend());
+    outcome.ack_message_id = active_.ack_message_id;
+  }
+
+  // The source AP processes its own packet (marks it seen, may deliver when
+  // sender and recipient share a building) and always performs the initial
+  // broadcast.
+  ApAgent& src_agent = agents_[*src_ap];
+  const AgentAction first = src_agent.on_receive(*packet, sim_.now());
+  if (first.delivered) {
+    active_.delivered = true;
+    active_.delivery_time_s = sim_.now();
+    active_.postboxes_reached += first.delivered_count;
+    if (active_.ack_message_id != 0) send_ack_from(*src_ap);
+  }
+  transmit_counted(*src_ap, packet);
+
+  sim_.run(sim_.now() + config_.max_sim_time_s, config_.max_events_per_send);
+
+  outcome.delivered = active_.delivered;
+  outcome.delivery_time_s = active_.delivery_time_s;
+  outcome.transmissions = active_.transmissions;
+  outcome.ack_received = active_.ack_delivered;
+  outcome.rebroadcast_aps = std::move(active_.rebroadcast_aps);
+  outcome.received_only_aps = std::move(active_.received_only_aps);
+
+  // Ideal unicast hop count: shortest AP path from the source AP to the
+  // closest AP in the destination building.
+  const auto sp = graphx::bfs(aps_.graph(), *src_ap);
+  double best = graphx::kInfiniteDistance;
+  for (const mesh::ApId dst : aps_.aps_of_building(to.building)) {
+    best = std::min(best, sp.distance[dst]);
+  }
+  if (best < graphx::kInfiniteDistance) {
+    outcome.min_hops = static_cast<std::size_t>(best);
+  }
+  return outcome;
+}
+
+SendOutcome CityMeshNetwork::send(BuildingId from_building, const PostboxInfo& to,
+                                  std::span<const std::uint8_t> payload,
+                                  const SendOptions& opts) {
+  return run_send(from_building, to, payload, opts, /*extra_flags=*/0,
+                  /*broadcast_radius_m=*/0);
+}
+
+ReliableOutcome CityMeshNetwork::send_reliable(BuildingId from_building,
+                                               const PostboxInfo& to,
+                                               std::span<const std::uint8_t> payload,
+                                               const PostboxInfo& ack_to,
+                                               std::span<const double> widths) {
+  ReliableOutcome result;
+  for (const double width : widths) {
+    ++result.attempts;
+    SendOptions opts;
+    opts.conduit_width = width;
+    opts.request_ack = true;
+    opts.ack_to = ack_to;
+    SendOutcome outcome = send(from_building, to, payload, opts);
+    result.delivered = result.delivered || outcome.delivered;
+    const bool acked = outcome.ack_received;
+    result.tries.push_back(std::move(outcome));
+    if (acked) {
+      result.acknowledged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+BroadcastOutcome CityMeshNetwork::broadcast(BuildingId from_building,
+                                            BuildingId center_building, double radius_m,
+                                            std::span<const std::uint8_t> payload,
+                                            bool urgent) {
+  // A broadcast is addressed to a region, not a postbox: route to the center
+  // building and flood the disc around it. The postbox tag is unused (0).
+  PostboxInfo region{};
+  region.building = center_building;
+  SendOptions opts;
+  opts.urgent = urgent;
+  const auto radius =
+      static_cast<std::uint32_t>(std::max(0.0, std::min(radius_m, 100'000.0)));
+  const SendOutcome raw =
+      run_send(from_building, region, payload, opts,
+               static_cast<std::uint8_t>(wire::PacketFlag::kBroadcast), radius);
+  BroadcastOutcome outcome;
+  outcome.route_found = raw.route_found;
+  outcome.source_has_ap = raw.source_has_ap;
+  outcome.message_id = raw.message_id;
+  outcome.transmissions = raw.transmissions;
+  outcome.postboxes_reached = active_.postboxes_reached;
+  outcome.route = raw.route;
+  return outcome;
+}
+
+SendOutcome CityMeshNetwork::send_location_update(const PostboxInfo& home,
+                                                  BuildingId current_building) {
+  const std::array<std::uint8_t, 4> payload{
+      static_cast<std::uint8_t>(current_building),
+      static_cast<std::uint8_t>(current_building >> 8),
+      static_cast<std::uint8_t>(current_building >> 16),
+      static_cast<std::uint8_t>(current_building >> 24)};
+  SendOptions opts;
+  return run_send(current_building, home, payload, opts,
+                  static_cast<std::uint8_t>(wire::PacketFlag::kLocationUpdate),
+                  /*broadcast_radius_m=*/0);
+}
+
+std::size_t CityMeshNetwork::forward_pending(const PostboxInfo& home,
+                                             const PostboxInfo& temp) {
+  const auto home_box = postbox_at(home.id, home.building);
+  if (!home_box) return 0;
+  std::size_t arrived = 0;
+  for (const auto& stored : home_box->retrieve()) {
+    if (stored.flags & static_cast<std::uint8_t>(wire::PacketFlag::kLocationUpdate)) {
+      continue;  // housekeeping, not mail
+    }
+    SendOptions opts;
+    opts.urgent = stored.urgent;
+    const auto outcome =
+        send(home.building, temp,
+             {stored.sealed_payload.data(), stored.sealed_payload.size()}, opts);
+    if (outcome.delivered) ++arrived;
+  }
+  return arrived;
+}
+
+void CityMeshNetwork::compromise_building(BuildingId building, AgentBehavior behavior) {
+  for (const mesh::ApId id : aps_.aps_of_building(building)) {
+    agents_[id].set_behavior(behavior);
+  }
+}
+
+}  // namespace citymesh::core

@@ -1,0 +1,237 @@
+// End-to-end CityMesh network facade (§3 steps 1-4 over the §4 simulator).
+//
+// Owns the full stack for one city: the building graph (map-derived routing
+// state), the realized AP placement (ground truth), one ApAgent per AP, the
+// discrete-event broadcast medium, and the postbox registry. `send` runs one
+// message through the whole pipeline — plan, compress, encode, inject,
+// event-simulate the conduit flood — and reports the paper's metrics
+// (delivery, transmission overhead vs. the ideal unicast path, header bits).
+//
+// Beyond the paper's baseline, the facade implements three §6/future-work
+// extensions:
+//   - acknowledgments: the destination sends an ack back along the reversed
+//     conduit (PacketFlag::kAckRequest), and `send_reliable` escalates the
+//     conduit width until an ack arrives;
+//   - geo-broadcast: `broadcast` floods a disc around a center building,
+//     reaching every postbox in the region (emergency notices, §1);
+//   - same-building rebroadcast suppression: an AP that overhears a copy of
+//     a pending packet from another AP of its own building cancels its own
+//     rebroadcast (NetworkConfig::building_suppression) — the paper's
+//     "currently all the APs within a building rebroadcast ... this overhead
+//     can be reduced".
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "core/ap_agent.hpp"
+#include "core/building_graph.hpp"
+#include "core/postbox.hpp"
+#include "core/route_planner.hpp"
+#include "mesh/ap_network.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace citymesh::core {
+
+struct NetworkConfig {
+  mesh::PlacementConfig placement;
+  BuildingGraphConfig graph;
+  ConduitConfig conduit;
+  sim::MediumConfig medium;
+  /// Per-send simulation budget; a conduit flood quiesces long before this.
+  sim::SimTime max_sim_time_s = 120.0;
+  std::size_t max_events_per_send = 20'000'000;
+  std::uint64_t seed = 99;  ///< message-id / backoff stream
+
+  /// Same-building overhearing suppression (overhead reduction, §4/§6):
+  /// rebroadcasts wait a random backoff and are cancelled when a copy is
+  /// overheard from an AP of the same building *within
+  /// suppression_radius_m* — close enough that this AP's own transmission
+  /// would cover (nearly) the same area. Without the radius check a badly
+  /// placed sibling can silence the one AP positioned to bridge to the next
+  /// building and kill the flood.
+  bool building_suppression = false;
+  sim::SimTime suppression_backoff_s = 0.02;
+  double suppression_radius_m = 15.0;
+};
+
+struct SendOptions {
+  bool urgent = false;
+  bool compress = true;          ///< false = raw building list (ablation)
+  bool collect_trace = false;    ///< record per-AP roles for Figure 7
+  /// Override the conduit width for this send (multiple of 10 m, <= 150).
+  std::optional<double> conduit_width;
+  /// Ask the destination to send an ack back along the reversed route.
+  /// Requires ack_to: the sender's own postbox (must be registered).
+  bool request_ack = false;
+  std::optional<PostboxInfo> ack_to;
+};
+
+struct SendOutcome {
+  bool route_found = false;
+  bool source_has_ap = false;
+  bool delivered = false;
+  double delivery_time_s = 0.0;
+
+  std::uint32_t message_id = 0;
+  PlannedRoute route;
+  std::size_t header_bits = 0;
+
+  /// Broadcasts attributable to this send, including the source injection
+  /// and (when an ack was requested) the ack's own flood.
+  std::size_t transmissions = 0;
+  /// Minimum AP-graph hop count source->destination (ideal unicast path),
+  /// nullopt when the AP graph is disconnected between the endpoints.
+  std::optional<std::size_t> min_hops;
+  /// transmissions / min_hops — the paper's transmission-overhead ratio.
+  std::optional<double> overhead() const {
+    if (!min_hops || *min_hops == 0) return std::nullopt;
+    return static_cast<double>(transmissions) / static_cast<double>(*min_hops);
+  }
+
+  /// Ack status (only when SendOptions::request_ack).
+  bool ack_received = false;
+  std::uint32_t ack_message_id = 0;
+
+  /// Figure-7 trace (only when SendOptions::collect_trace).
+  std::vector<mesh::ApId> rebroadcast_aps;
+  std::vector<mesh::ApId> received_only_aps;
+};
+
+/// Result of `send_reliable`: width-escalating retries until acked.
+struct ReliableOutcome {
+  bool delivered = false;     ///< any attempt reached the destination
+  bool acknowledged = false;  ///< the sender saw an ack
+  std::size_t attempts = 0;
+  std::vector<SendOutcome> tries;
+};
+
+/// Result of a geo-broadcast.
+struct BroadcastOutcome {
+  bool route_found = false;
+  bool source_has_ap = false;
+  std::uint32_t message_id = 0;
+  std::size_t transmissions = 0;
+  /// Distinct postboxes inside the region that stored the message.
+  std::size_t postboxes_reached = 0;
+  PlannedRoute route;
+};
+
+class CityMeshNetwork {
+ public:
+  CityMeshNetwork(const osmx::City& city, NetworkConfig config);
+
+  const osmx::City& city() const { return *city_; }
+  const BuildingGraph& map() const { return map_; }
+  const mesh::ApNetwork& aps() const { return aps_; }
+  const RoutePlanner& planner() const { return planner_; }
+  sim::Simulator& simulator() { return sim_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Register Bob's postbox: every AP in his building hosts the (shared)
+  /// postbox so any of them can cache arriving messages. Returns the shared
+  /// postbox, or nullptr when the building has no APs.
+  std::shared_ptr<Postbox> register_postbox(const PostboxInfo& info);
+
+  /// The *primary* (first-registered) postbox for an id — typically the
+  /// owner's home postbox. nullptr when unknown.
+  std::shared_ptr<Postbox> postbox_of(const cryptox::SelfCertifyingId& id) const;
+
+  /// The postbox registered for this id at a specific building (an identity
+  /// may hold several: home plus temporary ones while traveling).
+  std::shared_ptr<Postbox> postbox_at(const cryptox::SelfCertifyingId& id,
+                                      BuildingId building) const;
+
+  /// Send an opaque (typically sealed) payload from a device in
+  /// `from_building` to the destination postbox. Runs the event simulation
+  /// for this message to quiescence before returning.
+  SendOutcome send(BuildingId from_building, const PostboxInfo& to,
+                   std::span<const std::uint8_t> payload, const SendOptions& opts = {});
+
+  /// Retry with escalating conduit widths until the sender's postbox
+  /// (`ack_to`) receives a delivery acknowledgment. Widths must be valid
+  /// header widths (multiples of 10 m up to 150).
+  ReliableOutcome send_reliable(BuildingId from_building, const PostboxInfo& to,
+                                std::span<const std::uint8_t> payload,
+                                const PostboxInfo& ack_to,
+                                std::span<const double> widths = kDefaultWidths);
+
+  /// Geo-broadcast: route to `center_building`, then flood every AP within
+  /// `radius_m` of its centroid. Every postbox in the region gets a copy.
+  BroadcastOutcome broadcast(BuildingId from_building, BuildingId center_building,
+                             double radius_m, std::span<const std::uint8_t> payload,
+                             bool urgent = false);
+
+  /// Device-side helper: inform `home`'s postbox that the owner is currently
+  /// in `current_building` (a kLocationUpdate message routed home).
+  SendOutcome send_location_update(const PostboxInfo& home, BuildingId current_building);
+
+  /// Postbox-agent forwarding service (§3 step 4's push/pull): drain the
+  /// registered postbox of `home` and re-send every pending message to
+  /// `temp` (the owner's postbox at their current building). Returns the
+  /// number of messages that arrived at `temp`. Location updates are
+  /// housekeeping and are dropped rather than forwarded.
+  std::size_t forward_pending(const PostboxInfo& home, const PostboxInfo& temp);
+
+  /// Mark every AP in a building as compromised (failure injection).
+  void compromise_building(BuildingId building, AgentBehavior behavior);
+
+  /// Direct agent access for tests.
+  ApAgent& agent(mesh::ApId id) { return agents_.at(id); }
+
+  static constexpr double kDefaultWidthValues[3] = {50.0, 80.0, 120.0};
+  static constexpr std::span<const double> kDefaultWidths{kDefaultWidthValues};
+
+ private:
+  void handle_delivery(sim::NodeId to, sim::NodeId from,
+                       const std::shared_ptr<const MeshPacket>& packet);
+  void transmit_counted(mesh::ApId from, const std::shared_ptr<const MeshPacket>& packet);
+  void send_ack_from(mesh::ApId ap);
+  SendOutcome run_send(BuildingId from_building, const PostboxInfo& to,
+                       std::span<const std::uint8_t> payload, const SendOptions& opts,
+                       std::uint8_t extra_flags, std::uint32_t broadcast_radius_m);
+
+  const osmx::City* city_;
+  NetworkConfig config_;
+  BuildingGraph map_;
+  mesh::ApNetwork aps_;
+  RoutePlanner planner_;
+  sim::Simulator sim_;
+  sim::BroadcastMedium<MeshPacket> medium_;
+  std::vector<ApAgent> agents_;
+  geo::Rng message_rng_;
+
+  // Registrations keyed by "id-hex@building"; primaries keep the first
+  // registration per identity (the home postbox).
+  std::unordered_map<std::string, std::shared_ptr<Postbox>> postboxes_;
+  std::unordered_map<std::string, std::shared_ptr<Postbox>> primary_postboxes_;
+
+  // Per-message bookkeeping for the in-flight send.
+  struct ActiveSend {
+    std::uint32_t message_id = 0;
+    bool delivered = false;
+    double delivery_time_s = 0.0;
+    std::size_t transmissions = 0;
+    std::size_t postboxes_reached = 0;
+    bool collect_trace = false;
+    std::vector<mesh::ApId> rebroadcast_aps;
+    std::vector<mesh::ApId> received_only_aps;
+
+    // Ack machinery.
+    std::uint32_t ack_message_id = 0;  ///< 0 = no ack expected
+    std::uint32_t ack_tag = 0;
+    std::vector<BuildingId> ack_waypoints;
+    double conduit_width_m = 50.0;
+    bool ack_sent = false;
+    bool ack_delivered = false;
+
+    // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap);
+    // the bool flips when an overheard same-building copy cancels them.
+    std::unordered_map<std::uint64_t, std::shared_ptr<bool>> pending;
+  };
+  ActiveSend active_;
+};
+
+}  // namespace citymesh::core

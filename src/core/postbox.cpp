@@ -1,0 +1,42 @@
+#include "core/postbox.hpp"
+
+#include <algorithm>
+
+namespace citymesh::core {
+
+bool Postbox::store(StoredMessage msg) {
+  if (!seen_ids_.insert(msg.message_id).second) {
+    ++duplicate_count_;
+    return false;
+  }
+  ++stored_count_;
+  if (msg.urgent && push_) push_(msg);
+  expire(msg.stored_at_s);
+  queue_.push_back(std::move(msg));
+  // Count-bound eviction: oldest pending first. The seen-set entry stays,
+  // so a re-flooded copy of the evicted message is still deduplicated.
+  while (queue_.size() > limits_.max_messages) {
+    queue_.erase(queue_.begin());
+    ++evicted_count_;
+  }
+  return true;
+}
+
+std::size_t Postbox::expire(double now_s) {
+  const double cutoff = now_s - limits_.max_age_s;
+  const auto first_fresh = std::find_if(
+      queue_.begin(), queue_.end(),
+      [cutoff](const StoredMessage& m) { return m.stored_at_s >= cutoff; });
+  const auto removed = static_cast<std::size_t>(first_fresh - queue_.begin());
+  queue_.erase(queue_.begin(), first_fresh);
+  expired_count_ += removed;
+  return removed;
+}
+
+std::vector<StoredMessage> Postbox::retrieve() {
+  std::vector<StoredMessage> out;
+  out.swap(queue_);
+  return out;
+}
+
+}  // namespace citymesh::core

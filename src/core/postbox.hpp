@@ -1,0 +1,119 @@
+// Postboxes (§3 steps 1 and 4).
+//
+// A postbox is the store-and-forward mailbox an AP keeps for a recipient.
+// Bob publishes his *postbox info* out-of-band (public key + building id,
+// small enough for a QR code); Alice routes to that building; the APs there
+// cache the sealed message until Bob's device retrieves it. Urgent messages
+// trigger a push callback; the postbox also caches Bob's last location
+// update, which it learns whenever his device checks in.
+//
+// Note on "decryption for Bob": with self-certifying ids only Bob's device
+// holds the private key, so the postbox verifies structure/duplicates and
+// hands sealed blobs to the device, which unseals (cryptox/sealed.hpp). The
+// paper's phrasing bundles both steps into "the postbox"; we keep the key on
+// the device, which is strictly safer and behaviourally identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cryptox/identity.hpp"
+#include "geo/point.hpp"
+#include "osmx/building.hpp"
+
+namespace citymesh::core {
+
+/// What Bob hands Alice out-of-band before the outage (§3 step 1).
+struct PostboxInfo {
+  cryptox::X25519Key public_key{};
+  cryptox::SelfCertifyingId id{};  ///< = SHA-256(public_key)
+  osmx::BuildingId building = 0;
+
+  static PostboxInfo for_key(const cryptox::KeyPair& keys, osmx::BuildingId building) {
+    return {keys.public_key(), keys.id(), building};
+  }
+};
+
+/// A message as cached by the postbox: opaque sealed payload plus the header
+/// metadata needed for ordering and dedup.
+struct StoredMessage {
+  std::uint32_t message_id = 0;
+  bool urgent = false;
+  std::uint8_t flags = 0;    ///< raw header flags (wire::PacketFlag bits)
+  double stored_at_s = 0.0;  ///< simulation time of arrival
+  std::vector<std::uint8_t> sealed_payload;
+};
+
+/// Storage policy: commodity APs have small flash/RAM, so the postbox
+/// bounds both message count and age ("APs must have the ability to store
+/// messages for a period of time" — a period, not forever).
+struct PostboxLimits {
+  std::size_t max_messages = 256;   ///< oldest evicted beyond this
+  double max_age_s = 72.0 * 3600;   ///< messages older than this expire
+};
+
+class Postbox {
+ public:
+  using PushFn = std::function<void(const StoredMessage&)>;
+
+  explicit Postbox(cryptox::SelfCertifyingId owner, PostboxLimits limits = {})
+      : owner_(owner), limits_(limits) {}
+
+  const cryptox::SelfCertifyingId& owner() const { return owner_; }
+  std::uint32_t tag() const { return owner_.tag(); }
+
+  /// Store a message; duplicates (same message_id) are dropped. Returns true
+  /// when the message was newly stored. Fires the push callback for urgent
+  /// messages. Evicts the oldest pending message when the count limit is
+  /// exceeded, and expires messages older than max_age_s relative to the
+  /// incoming message's timestamp.
+  bool store(StoredMessage msg);
+
+  /// Drop pending messages stored earlier than now_s - max_age_s.
+  /// Returns the number expired.
+  std::size_t expire(double now_s);
+
+  const PostboxLimits& limits() const { return limits_; }
+  std::size_t evicted() const { return evicted_count_; }
+  std::size_t expired() const { return expired_count_; }
+
+  /// Messages not yet retrieved, oldest first. Retrieval drains the queue
+  /// (the device keeps its own archive).
+  std::vector<StoredMessage> retrieve();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t total_stored() const { return stored_count_; }
+  std::size_t duplicates_dropped() const { return duplicate_count_; }
+
+  /// True if a message with this id was ever stored (survives retrieval;
+  /// used by senders to confirm acks).
+  bool has_message(std::uint32_t message_id) const {
+    return seen_ids_.contains(message_id);
+  }
+
+  void set_push_handler(PushFn fn) { push_ = std::move(fn); }
+
+  /// Location update cached from the owner's last check-in (§3 step 4).
+  void update_owner_location(geo::Point p, double at_s) { last_location_ = {p, at_s}; }
+  std::optional<std::pair<geo::Point, double>> owner_location() const {
+    return last_location_;
+  }
+
+ private:
+  cryptox::SelfCertifyingId owner_;
+  PostboxLimits limits_;
+  std::vector<StoredMessage> queue_;
+  std::unordered_set<std::uint32_t> seen_ids_;
+  std::size_t stored_count_ = 0;
+  std::size_t duplicate_count_ = 0;
+  std::size_t evicted_count_ = 0;
+  std::size_t expired_count_ = 0;
+  PushFn push_;
+  std::optional<std::pair<geo::Point, double>> last_location_;
+};
+
+}  // namespace citymesh::core

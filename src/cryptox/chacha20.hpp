@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Sealed CityMesh messages are encrypted with ChaCha20 under a key derived
+// from an X25519 shared secret (see sealed.hpp). Verified against the RFC
+// 8439 test vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace citymesh::cryptox {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// One 64-byte keystream block for the given counter.
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter);
+
+/// XOR `data` with the keystream starting at block `initial_counter`.
+/// Encryption and decryption are the same operation.
+std::vector<std::uint8_t> chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                       std::uint32_t initial_counter,
+                                       std::span<const std::uint8_t> data);
+
+}  // namespace citymesh::cryptox

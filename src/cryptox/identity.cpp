@@ -1,0 +1,31 @@
+#include "cryptox/identity.hpp"
+
+#include "geo/rng.hpp"
+
+namespace citymesh::cryptox {
+
+SelfCertifyingId id_of(const X25519Key& public_key) {
+  return {Sha256::hash(public_key)};
+}
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) {
+  geo::Rng rng{seed};
+  X25519Key priv{};
+  for (std::size_t i = 0; i < priv.size(); i += 8) {
+    const std::uint64_t word = rng.next();
+    for (std::size_t j = 0; j < 8; ++j) {
+      priv[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return from_private(priv);
+}
+
+KeyPair KeyPair::from_private(const X25519Key& private_key) {
+  return KeyPair{private_key, x25519_base(private_key)};
+}
+
+X25519Key KeyPair::shared_secret(const X25519Key& peer_public) const {
+  return x25519(private_key_, peer_public);
+}
+
+}  // namespace citymesh::cryptox

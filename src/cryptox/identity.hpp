@@ -1,0 +1,62 @@
+// Self-certifying identities (paper §1, "Security").
+//
+// Each CityMesh principal owns an X25519 key pair. Its *self-certifying id*
+// is the SHA-256 hash of the public key: anyone holding the id can verify a
+// presented public key offline, with no certificate authority — exactly the
+// property the paper wants during an outage. The 32-bit *postbox tag*
+// carried in packet headers is the first four bytes of the id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cryptox/sha256.hpp"
+#include "cryptox/x25519.hpp"
+
+namespace citymesh::cryptox {
+
+/// Full 256-bit self-certifying identifier.
+struct SelfCertifyingId {
+  Digest256 bytes{};
+
+  bool operator==(const SelfCertifyingId&) const = default;
+
+  /// Short tag carried in packet headers (collision-tolerant; the postbox
+  /// re-checks the full id from the sealed payload).
+  std::uint32_t tag() const {
+    return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+           (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+  }
+
+  std::string hex() const { return to_hex(bytes); }
+};
+
+/// Derives the self-certifying id of a public key.
+SelfCertifyingId id_of(const X25519Key& public_key);
+
+class KeyPair {
+ public:
+  /// Deterministic key pair from a seed (simulations must be reproducible;
+  /// a deployment would draw the seed from the OS entropy pool instead).
+  static KeyPair from_seed(std::uint64_t seed);
+
+  /// Key pair from explicit private-key bytes.
+  static KeyPair from_private(const X25519Key& private_key);
+
+  const X25519Key& public_key() const { return public_key_; }
+  const X25519Key& private_key() const { return private_key_; }
+  const SelfCertifyingId& id() const { return id_; }
+
+  /// X25519 shared secret with a peer public key.
+  X25519Key shared_secret(const X25519Key& peer_public) const;
+
+ private:
+  KeyPair(X25519Key priv, X25519Key pub)
+      : private_key_(priv), public_key_(pub), id_(id_of(pub)) {}
+
+  X25519Key private_key_;
+  X25519Key public_key_;
+  SelfCertifyingId id_;
+};
+
+}  // namespace citymesh::cryptox

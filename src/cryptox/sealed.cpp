@@ -1,0 +1,105 @@
+#include "cryptox/sealed.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace citymesh::cryptox {
+
+namespace {
+
+constexpr std::string_view kKdfLabel = "citymesh-seal-v1";
+
+struct DerivedKeys {
+  ChaChaKey key;
+  ChaChaNonce nonce;
+};
+
+DerivedKeys derive_keys(const X25519Key& shared) {
+  const auto material = hkdf_sha256(shared, kKdfLabel, 44);
+  DerivedKeys d;
+  std::memcpy(d.key.data(), material.data(), 32);
+  std::memcpy(d.nonce.data(), material.data() + 32, 12);
+  return d;
+}
+
+Digest256 compute_tag(const ChaChaKey& key, const SealedMessage& msg) {
+  std::vector<std::uint8_t> mac_input;
+  mac_input.reserve(32 + 32 + 32 + msg.ciphertext.size());
+  mac_input.insert(mac_input.end(), msg.ephemeral_public.begin(), msg.ephemeral_public.end());
+  mac_input.insert(mac_input.end(), msg.sender_id.bytes.begin(), msg.sender_id.bytes.end());
+  mac_input.insert(mac_input.end(), msg.recipient_id.bytes.begin(),
+                   msg.recipient_id.bytes.end());
+  mac_input.insert(mac_input.end(), msg.ciphertext.begin(), msg.ciphertext.end());
+  return hmac_sha256(key, mac_input);
+}
+
+bool constant_time_equal(const Digest256& a, const Digest256& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SealedMessage::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + 32 + 32 + 32 + ciphertext.size());
+  out.insert(out.end(), ephemeral_public.begin(), ephemeral_public.end());
+  out.insert(out.end(), sender_id.bytes.begin(), sender_id.bytes.end());
+  out.insert(out.end(), recipient_id.bytes.begin(), recipient_id.bytes.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+  return out;
+}
+
+std::optional<SealedMessage> SealedMessage::deserialize(std::span<const std::uint8_t> bytes) {
+  constexpr std::size_t kFixed = 32 * 4;
+  if (bytes.size() < kFixed) return std::nullopt;
+  SealedMessage m;
+  std::copy_n(bytes.begin(), 32, m.ephemeral_public.begin());
+  std::copy_n(bytes.begin() + 32, 32, m.sender_id.bytes.begin());
+  std::copy_n(bytes.begin() + 64, 32, m.recipient_id.bytes.begin());
+  std::copy_n(bytes.begin() + 96, 32, m.tag.begin());
+  m.ciphertext.assign(bytes.begin() + kFixed, bytes.end());
+  return m;
+}
+
+SealedMessage seal(const KeyPair& sender, const X25519Key& recipient_public,
+                   std::span<const std::uint8_t> plaintext, std::uint64_t ephemeral_seed) {
+  const KeyPair ephemeral = KeyPair::from_seed(ephemeral_seed);
+  const X25519Key shared = ephemeral.shared_secret(recipient_public);
+  const DerivedKeys keys = derive_keys(shared);
+
+  SealedMessage msg;
+  msg.ephemeral_public = ephemeral.public_key();
+  msg.sender_id = sender.id();
+  msg.recipient_id = id_of(recipient_public);
+  msg.ciphertext = chacha20_xor(keys.key, keys.nonce, 1, plaintext);
+  msg.tag = compute_tag(keys.key, msg);
+  return msg;
+}
+
+SealedMessage seal(const KeyPair& sender, const X25519Key& recipient_public,
+                   std::string_view plaintext, std::uint64_t ephemeral_seed) {
+  return seal(sender, recipient_public,
+              std::span{reinterpret_cast<const std::uint8_t*>(plaintext.data()),
+                        plaintext.size()},
+              ephemeral_seed);
+}
+
+std::optional<std::vector<std::uint8_t>> unseal(const KeyPair& recipient,
+                                                const SealedMessage& msg) {
+  if (!(msg.recipient_id == recipient.id())) return std::nullopt;
+  const X25519Key shared = recipient.shared_secret(msg.ephemeral_public);
+  const DerivedKeys keys = derive_keys(shared);
+  if (!constant_time_equal(compute_tag(keys.key, msg), msg.tag)) return std::nullopt;
+  return chacha20_xor(keys.key, keys.nonce, 1, msg.ciphertext);
+}
+
+std::optional<std::string> unseal_text(const KeyPair& recipient, const SealedMessage& msg) {
+  const auto bytes = unseal(recipient, msg);
+  if (!bytes) return std::nullopt;
+  return std::string{bytes->begin(), bytes->end()};
+}
+
+}  // namespace citymesh::cryptox

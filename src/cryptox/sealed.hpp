@@ -1,0 +1,60 @@
+// Sealed (encrypted + authenticated) CityMesh message payloads.
+//
+// ECIES-style construction over the primitives in this module:
+//   1. The sender generates an ephemeral X25519 key pair.
+//   2. shared = X25519(ephemeral_private, recipient_public)
+//   3. key material = HKDF-SHA256(shared, "citymesh-seal-v1", 44)
+//      -> 32-byte ChaCha20 key + 12-byte nonce
+//   4. ciphertext = ChaCha20(key, nonce, counter=1) XOR plaintext
+//   5. tag = HMAC-SHA256(key, ephemeral_public || sender_id || recipient_id
+//                              || ciphertext)  (encrypt-then-MAC)
+//
+// The recipient recomputes `shared` from its private key and the ephemeral
+// public key carried in the sealed blob, verifies the tag, and decrypts.
+// The sender's full self-certifying id rides inside so the postbox can
+// attribute the message without any on-path metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cryptox/chacha20.hpp"
+#include "cryptox/identity.hpp"
+
+namespace citymesh::cryptox {
+
+struct SealedMessage {
+  X25519Key ephemeral_public{};
+  SelfCertifyingId sender_id{};
+  SelfCertifyingId recipient_id{};
+  std::vector<std::uint8_t> ciphertext;
+  Digest256 tag{};
+
+  /// Flat byte serialization (fixed-size fields then ciphertext).
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<SealedMessage> deserialize(std::span<const std::uint8_t> bytes);
+
+  bool operator==(const SealedMessage&) const = default;
+};
+
+/// Seal `plaintext` from `sender` to the holder of `recipient_public`.
+/// `ephemeral_seed` feeds the deterministic ephemeral key (simulation
+/// reproducibility; a deployment uses OS entropy).
+SealedMessage seal(const KeyPair& sender, const X25519Key& recipient_public,
+                   std::span<const std::uint8_t> plaintext,
+                   std::uint64_t ephemeral_seed);
+
+SealedMessage seal(const KeyPair& sender, const X25519Key& recipient_public,
+                   std::string_view plaintext, std::uint64_t ephemeral_seed);
+
+/// Verify and decrypt. Returns nullopt when the tag fails, the recipient id
+/// doesn't match, or the blob is malformed.
+std::optional<std::vector<std::uint8_t>> unseal(const KeyPair& recipient,
+                                                const SealedMessage& msg);
+
+/// Convenience: unseal and interpret as text.
+std::optional<std::string> unseal_text(const KeyPair& recipient, const SealedMessage& msg);
+
+}  // namespace citymesh::cryptox

@@ -1,0 +1,203 @@
+#include "cryptox/sha256.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace citymesh::cryptox {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
+      buffer_{} {}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w;
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + i * 4);
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  auto [a, b, c, d, e, f, g, h] = state_;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRoundConstants[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  if (finished_) throw std::logic_error{"Sha256: update after finish"};
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+void Sha256::update(std::string_view s) {
+  update(std::span{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+Digest256 Sha256::finish() {
+  if (finished_) throw std::logic_error{"Sha256: finish called twice"};
+  finished_ = true;
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t rem = buffer_len_;
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  finished_ = false;  // allow the padding updates
+  update(std::span{pad, pad_len});
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span{len_bytes, 8});
+  finished_ = true;
+
+  Digest256 digest;
+  for (int i = 0; i < 8; ++i) store_be32(digest.data() + i * 4, state_[i]);
+  return digest;
+}
+
+Digest256 Sha256::hash(std::span<const std::uint8_t> data) {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+Digest256 Sha256::hash(std::string_view s) {
+  Sha256 h;
+  h.update(s);
+  return h.finish();
+}
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest256 kd = Sha256::hash(key);
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Digest256 inner_digest = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+std::vector<std::uint8_t> hkdf_sha256(std::span<const std::uint8_t> ikm,
+                                      std::string_view info, std::size_t length) {
+  if (length > 255 * 32) throw std::invalid_argument{"hkdf_sha256: length too large"};
+  // Extract with zero salt.
+  const std::array<std::uint8_t, 32> salt{};
+  const Digest256 prk = hmac_sha256(salt, ikm);
+  // Expand.
+  std::vector<std::uint8_t> out;
+  out.reserve(length);
+  std::vector<std::uint8_t> t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    std::vector<std::uint8_t> block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const Digest256 d = hmac_sha256(prk, block);
+    t.assign(d.begin(), d.end());
+    const std::size_t take = std::min<std::size_t>(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace citymesh::cryptox

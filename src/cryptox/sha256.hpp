@@ -1,0 +1,56 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104).
+//
+// CityMesh uses SHA-256 for self-certifying names (§1 "Security": each
+// identifier is the hash of the entity's public key) and HMAC for message
+// integrity at the postbox. Implemented from scratch and verified against
+// the NIST/RFC test vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace citymesh::cryptox {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input. May be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  Digest256 finish();
+
+  /// One-shot helpers.
+  static Digest256 hash(std::span<const std::uint8_t> data);
+  static Digest256 hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// HMAC-SHA256 over `data` with `key`.
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> data);
+
+/// HKDF-SHA256 (RFC 5869) expand-only convenience: derives `length` bytes
+/// from input keying material and an info label (extract uses a zero salt).
+std::vector<std::uint8_t> hkdf_sha256(std::span<const std::uint8_t> ikm,
+                                      std::string_view info, std::size_t length);
+
+/// Hex rendering, for ids and logs.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace citymesh::cryptox

@@ -1,0 +1,37 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032), which hashes with
+// SHA-512 throughout. Verified against the NIST test vectors in the suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace citymesh::cryptox {
+
+using Digest512 = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  Digest512 finish();
+
+  static Digest512 hash(std::span<const std::uint8_t> data);
+  static Digest512 hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, 128> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes; messages > 2^61 bytes unsupported
+  bool finished_ = false;
+};
+
+}  // namespace citymesh::cryptox

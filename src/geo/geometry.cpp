@@ -1,0 +1,193 @@
+#include "geo/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace citymesh::geo {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+double point_segment_distance(Point p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = norm2(d);
+  if (len2 == 0.0) return distance(p, s.a);
+  const double t = std::clamp(dot(p - s.a, d) / len2, 0.0, 1.0);
+  return distance(p, s.a + d * t);
+}
+
+namespace {
+
+// Orientation of the triplet (a, b, c): >0 counter-clockwise, <0 clockwise.
+double orient(Point a, Point b, Point c) { return cross(b - a, c - a); }
+
+bool on_segment(Point p, const Segment& s) {
+  return std::min(s.a.x, s.b.x) <= p.x && p.x <= std::max(s.a.x, s.b.x) &&
+         std::min(s.a.y, s.b.y) <= p.y && p.y <= std::max(s.a.y, s.b.y);
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s1, const Segment& s2) {
+  const double d1 = orient(s2.a, s2.b, s1.a);
+  const double d2 = orient(s2.a, s2.b, s1.b);
+  const double d3 = orient(s1.a, s1.b, s2.a);
+  const double d4 = orient(s1.a, s1.b, s2.b);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && on_segment(s1.a, s2)) return true;
+  if (d2 == 0 && on_segment(s1.b, s2)) return true;
+  if (d3 == 0 && on_segment(s2.a, s1)) return true;
+  if (d4 == 0 && on_segment(s2.b, s1)) return true;
+  return false;
+}
+
+std::optional<Rect> Rect::bounding(std::span<const Point> pts) {
+  if (pts.empty()) return std::nullopt;
+  Rect r{pts[0], pts[0]};
+  for (const Point p : pts) {
+    r.min.x = std::min(r.min.x, p.x);
+    r.min.y = std::min(r.min.y, p.y);
+    r.max.x = std::max(r.max.x, p.x);
+    r.max.y = std::max(r.max.y, p.y);
+  }
+  return r;
+}
+
+OrientedRect::OrientedRect(Point from, Point to, double width)
+    : from_(from), to_(to), length_(distance(from, to)), width_(width) {
+  if (width < 0.0) throw std::invalid_argument{"OrientedRect: negative width"};
+  axis_ = length_ > 0.0 ? (to - from) / length_ : Point{1.0, 0.0};
+  normal_ = perp(axis_);
+}
+
+bool OrientedRect::contains(Point p) const {
+  // Micrometer tolerance: endpoints computed as dot(to-from, axis) can land
+  // one ulp past length_, and a waypoint centroid must always test inside
+  // the conduit that ends on it.
+  constexpr double kEps = 1e-6;
+  const Point d = p - from_;
+  const double along = dot(d, axis_);
+  if (along < -kEps || along > length_ + kEps) return false;
+  const double across = dot(d, normal_);
+  return std::abs(across) <= width_ * 0.5 + kEps;
+}
+
+double OrientedRect::centerline_distance(Point p) const {
+  return point_segment_distance(p, Segment{from_, to_});
+}
+
+std::vector<Point> OrientedRect::corners() const {
+  const Point half = normal_ * (width_ * 0.5);
+  return {from_ - half, to_ - half, to_ + half, from_ + half};
+}
+
+Rect OrientedRect::bounds() const {
+  const auto cs = corners();
+  return *Rect::bounding(cs);
+}
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {
+  // Drop an explicit closing vertex if present.
+  if (vertices_.size() >= 2 && vertices_.front() == vertices_.back()) {
+    vertices_.pop_back();
+  }
+}
+
+double Polygon::signed_area() const {
+  if (empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point a = vertices_[i];
+    const Point b = vertices_[(i + 1) % vertices_.size()];
+    acc += cross(a, b);
+  }
+  return acc * 0.5;
+}
+
+Point Polygon::centroid() const {
+  if (vertices_.empty()) return {};
+  const double a = signed_area();
+  if (std::abs(a) < 1e-9) {
+    Point mean{};
+    for (const Point v : vertices_) mean += v;
+    return mean / static_cast<double>(vertices_.size());
+  }
+  Point c{};
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point p = vertices_[i];
+    const Point q = vertices_[(i + 1) % vertices_.size()];
+    const double w = cross(p, q);
+    c += (p + q) * w;
+  }
+  return c / (6.0 * a);
+}
+
+bool Polygon::contains(Point p) const {
+  if (empty()) return false;
+  bool inside = false;
+  for (std::size_t i = 0, j = vertices_.size() - 1; i < vertices_.size(); j = i++) {
+    const Point vi = vertices_[i];
+    const Point vj = vertices_[j];
+    const bool crosses = (vi.y > p.y) != (vj.y > p.y);
+    if (crosses) {
+      const double x_at = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::optional<Rect> Polygon::bounds() const {
+  return Rect::bounding(vertices_);
+}
+
+Polygon Polygon::rectangle(const Rect& r) {
+  return Polygon{{{r.min.x, r.min.y}, {r.max.x, r.min.y}, {r.max.x, r.max.y}, {r.min.x, r.max.y}}};
+}
+
+std::vector<Point> convex_hull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](Point a, Point b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 1] - hull[k - 2], points[i] - hull[k - 2]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && cross(hull[k - 1] - hull[k - 2], points[i] - hull[k - 2]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+double max_pairwise_distance(const std::vector<Point>& points) {
+  const auto hull = convex_hull(points);
+  if (hull.size() < 2) return 0.0;
+  // Hull sizes in this codebase are small; the quadratic scan is simpler
+  // than rotating calipers and never the bottleneck.
+  double best2 = 0.0;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    for (std::size_t j = i + 1; j < hull.size(); ++j) {
+      best2 = std::max(best2, distance2(hull[i], hull[j]));
+    }
+  }
+  return std::sqrt(best2);
+}
+
+}  // namespace citymesh::geo

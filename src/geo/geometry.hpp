@@ -1,0 +1,131 @@
+// Planar geometry used by CityMesh: segments, axis-aligned and oriented
+// rectangles (the "conduits" of the paper), and polygons (building
+// footprints).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace citymesh::geo {
+
+/// A line segment between two points.
+struct Segment {
+  Point a;
+  Point b;
+
+  double length() const { return distance(a, b); }
+};
+
+/// Distance from point `p` to the segment, in meters.
+double point_segment_distance(Point p, const Segment& s);
+
+/// True if segments `s1` and `s2` intersect (including touching endpoints).
+bool segments_intersect(const Segment& s1, const Segment& s2);
+
+/// Axis-aligned bounding rectangle.
+struct Rect {
+  Point min;  ///< lower-left corner
+  Point max;  ///< upper-right corner
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  double area() const { return width() * height(); }
+  Point center() const { return (min + max) * 0.5; }
+
+  bool contains(Point p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  bool intersects(const Rect& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y && o.min.y <= max.y;
+  }
+  /// Grow the rectangle outward by `margin` meters on every side.
+  Rect expanded(double margin) const {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+
+  /// Smallest Rect containing every point in `pts`; nullopt when empty.
+  static std::optional<Rect> bounding(std::span<const Point> pts);
+};
+
+/// A rectangle of width `width` centered on the segment from `from` to `to`.
+///
+/// This is the paper's *conduit*: the region between two consecutive waypoint
+/// buildings inside which APs rebroadcast (Figure 4). The rectangle extends
+/// width/2 to each side of the center line and spans the full segment length.
+class OrientedRect {
+ public:
+  OrientedRect(Point from, Point to, double width);
+
+  /// True if `p` lies inside (or on the boundary of) the rectangle.
+  bool contains(Point p) const;
+
+  /// Distance from `p` to the centerline segment (used by diagnostics).
+  double centerline_distance(Point p) const;
+
+  Point from() const { return from_; }
+  Point to() const { return to_; }
+  double width() const { return width_; }
+  double length() const { return length_; }
+
+  /// Corner points in counter-clockwise order (for rendering).
+  std::vector<Point> corners() const;
+
+  /// Loose axis-aligned bounding box (for spatial-index pre-filtering).
+  Rect bounds() const;
+
+ private:
+  Point from_;
+  Point to_;
+  Point axis_;    // unit vector from -> to
+  Point normal_;  // unit vector perpendicular to axis_
+  double length_;
+  double width_;
+};
+
+/// A simple polygon (building footprint). Vertices are stored without the
+/// closing duplicate; orientation may be either winding.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  bool empty() const { return vertices_.size() < 3; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Signed area (positive for counter-clockwise winding), in m^2.
+  double signed_area() const;
+  /// Absolute area in m^2.
+  double area() const { return std::abs(signed_area()); }
+
+  /// Area centroid. Falls back to the vertex mean for degenerate polygons.
+  Point centroid() const;
+
+  /// Even-odd (crossing-number) point-in-polygon test. Boundary points may
+  /// report either side; callers needing closed semantics should test with a
+  /// small epsilon of their own.
+  bool contains(Point p) const;
+
+  /// Axis-aligned bounding box; nullopt for an empty polygon.
+  std::optional<Rect> bounds() const;
+
+  /// Axis-aligned rectangle helper (counter-clockwise winding).
+  static Polygon rectangle(const Rect& r);
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// Convex hull (Andrew monotone chain), counter-clockwise, no duplicate
+/// closing point. Collinear points on the hull boundary are dropped.
+std::vector<Point> convex_hull(std::vector<Point> points);
+
+/// Maximum pairwise distance ("spread" in the paper's Figure 1b). Computed
+/// over the convex hull, so it is exact and fast for the survey's per-AP
+/// location clouds. Returns 0 for fewer than 2 points.
+double max_pairwise_distance(const std::vector<Point>& points);
+
+}  // namespace citymesh::geo

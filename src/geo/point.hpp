@@ -1,0 +1,62 @@
+// Basic 2D vector/point types used throughout CityMesh.
+//
+// All coordinates in the simulation are expressed in a local planar frame in
+// meters (see projection.hpp for the lat/lon mapping). Keeping the planar
+// math in one small value type lets every other module reason in meters.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace citymesh::geo {
+
+/// A point (or displacement) in the local planar frame, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr Point operator/(Point a, double s) { return {a.x / s, a.y / s}; }
+  friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+
+  Point& operator+=(Point b) { x += b.x; y += b.y; return *this; }
+  Point& operator-=(Point b) { x -= b.x; y -= b.y; return *this; }
+};
+
+/// Dot product of two displacement vectors.
+constexpr double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the 3D cross product; >0 when b is counter-clockwise of a.
+constexpr double cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean norm (cheaper than norm() when only comparing).
+constexpr double norm2(Point a) { return dot(a, a); }
+
+/// Euclidean norm in meters.
+inline double norm(Point a) { return std::sqrt(norm2(a)); }
+
+/// Squared distance between two points, in m^2.
+constexpr double distance2(Point a, Point b) { return norm2(b - a); }
+
+/// Euclidean distance between two points, in meters.
+inline double distance(Point a, Point b) { return norm(b - a); }
+
+/// Unit vector in the direction of `a`; returns {0,0} for the zero vector.
+inline Point normalized(Point a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Point{};
+}
+
+/// Perpendicular (rotated +90 degrees, counter-clockwise).
+constexpr Point perp(Point a) { return {-a.y, a.x}; }
+
+/// Linear interpolation: lerp(a, b, 0) == a, lerp(a, b, 1) == b.
+constexpr Point lerp(Point a, Point b, double t) { return a + (b - a) * t; }
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+}  // namespace citymesh::geo

@@ -1,0 +1,27 @@
+#include "geo/projection.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace citymesh::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}
+
+Projection::Projection(LatLon origin)
+    : origin_(origin), cos_lat_(std::cos(origin.lat * kDegToRad)) {}
+
+Point Projection::to_local(LatLon ll) const {
+  const double dlat = (ll.lat - origin_.lat) * kDegToRad;
+  const double dlon = (ll.lon - origin_.lon) * kDegToRad;
+  return {kEarthRadiusM * dlon * cos_lat_, kEarthRadiusM * dlat};
+}
+
+LatLon Projection::to_latlon(Point p) const {
+  const double dlat = p.y / kEarthRadiusM;
+  const double dlon = p.x / (kEarthRadiusM * cos_lat_);
+  return {origin_.lat + dlat / kDegToRad, origin_.lon + dlon / kDegToRad};
+}
+
+}  // namespace citymesh::geo

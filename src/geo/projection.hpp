@@ -1,0 +1,41 @@
+// Equirectangular projection between WGS-84 lat/lon and the local planar
+// frame in meters.
+//
+// CityMesh operates at city scale (a few km), where an equirectangular
+// projection anchored at a reference latitude is accurate to well under the
+// Wi-Fi transmission range. Real OSM extracts are projected through this on
+// load; synthetic cities are generated directly in meters.
+#pragma once
+
+#include "geo/point.hpp"
+
+namespace citymesh::geo {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Projects lat/lon to a local tangent plane anchored at an origin.
+class Projection {
+ public:
+  /// Mean Earth radius (IUGG), meters.
+  static constexpr double kEarthRadiusM = 6371008.8;
+
+  explicit Projection(LatLon origin);
+
+  /// Lat/lon -> local meters (x east, y north).
+  Point to_local(LatLon ll) const;
+
+  /// Local meters -> lat/lon.
+  LatLon to_latlon(Point p) const;
+
+  LatLon origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double cos_lat_;
+};
+
+}  // namespace citymesh::geo

@@ -1,0 +1,70 @@
+#include "geo/spatial_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace citymesh::geo {
+
+SpatialGrid::SpatialGrid(double cell_size) : cell_size_(cell_size) {
+  if (cell_size <= 0.0) throw std::invalid_argument{"SpatialGrid: cell_size must be > 0"};
+}
+
+SpatialGrid::SpatialGrid(double cell_size, const std::vector<Point>& points)
+    : SpatialGrid(cell_size) {
+  points_.reserve(points.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i) insert(i, points[i]);
+}
+
+SpatialGrid::CellKey SpatialGrid::cell_of(Point p) const {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void SpatialGrid::insert(std::uint32_t id, Point p) {
+  cells_[cell_of(p)].push_back(id);
+  points_[id] = p;
+}
+
+void SpatialGrid::for_each_in_radius(
+    Point center, double radius,
+    const std::function<void(std::uint32_t, Point)>& fn) const {
+  if (radius < 0.0) return;
+  const CellKey lo = cell_of({center.x - radius, center.y - radius});
+  const CellKey hi = cell_of({center.x + radius, center.y + radius});
+  const double r2 = radius * radius;
+  for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+    for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+      const auto it = cells_.find({cx, cy});
+      if (it == cells_.end()) continue;
+      for (const std::uint32_t id : it->second) {
+        const Point p = points_.at(id);
+        if (distance2(p, center) <= r2) fn(id, p);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> SpatialGrid::query_radius(Point center, double radius) const {
+  std::vector<std::uint32_t> out;
+  for_each_in_radius(center, radius,
+                     [&out](std::uint32_t id, Point) { out.push_back(id); });
+  return out;
+}
+
+std::vector<std::uint32_t> SpatialGrid::query_rect(const Rect& r) const {
+  std::vector<std::uint32_t> out;
+  const CellKey lo = cell_of(r.min);
+  const CellKey hi = cell_of(r.max);
+  for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+    for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+      const auto it = cells_.find({cx, cy});
+      if (it == cells_.end()) continue;
+      for (const std::uint32_t id : it->second) {
+        if (r.contains(points_.at(id))) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace citymesh::geo

@@ -1,0 +1,71 @@
+// A fixed-cell spatial hash over 2D points.
+//
+// CityMesh needs two geometric queries at scale: "which APs are within the
+// transmission range of this AP" (mesh construction) and "which APs fall
+// inside this conduit's bounding box" (rebroadcast simulation). A uniform
+// grid whose cell size matches the query radius answers both in O(k) for k
+// results, and builds in O(n) — adequate for millions of APs and far simpler
+// than an R-tree (P.11: encapsulate the messy construct once).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "geo/point.hpp"
+
+namespace citymesh::geo {
+
+/// Maps item ids (caller-defined dense indices) to points and supports
+/// radius and rectangle queries.
+class SpatialGrid {
+ public:
+  /// `cell_size` should be close to the typical query radius.
+  explicit SpatialGrid(double cell_size);
+
+  /// Bulk-build from a vector of points; item id i is points[i].
+  SpatialGrid(double cell_size, const std::vector<Point>& points);
+
+  void insert(std::uint32_t id, Point p);
+
+  std::size_t size() const { return points_.size(); }
+  double cell_size() const { return cell_size_; }
+
+  /// Point registered for `id`. Precondition: id was inserted.
+  Point position(std::uint32_t id) const { return points_.at(id); }
+
+  /// Ids of all items with distance(point, center) <= radius.
+  std::vector<std::uint32_t> query_radius(Point center, double radius) const;
+
+  /// Invoke `fn(id, point)` for all items within `radius` of `center`.
+  void for_each_in_radius(Point center, double radius,
+                          const std::function<void(std::uint32_t, Point)>& fn) const;
+
+  /// Ids of all items inside the axis-aligned rectangle.
+  std::vector<std::uint32_t> query_rect(const Rect& r) const;
+
+ private:
+  struct CellKey {
+    std::int64_t cx;
+    std::int64_t cy;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      // 64-bit mix of the two cell coordinates.
+      std::uint64_t h = static_cast<std::uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::uint64_t>(k.cy) + 0x7f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  CellKey cell_of(Point p) const;
+
+  double cell_size_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellHash> cells_;
+  std::unordered_map<std::uint32_t, Point> points_;
+};
+
+}  // namespace citymesh::geo

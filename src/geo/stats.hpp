@@ -1,0 +1,46 @@
+// Small descriptive-statistics helpers shared by the measurement study and
+// the benchmark harnesses (quantiles, CDF extraction, histogram binning).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace citymesh::geo {
+
+/// Quantile of `values` (q in [0,1]) using linear interpolation between
+/// order statistics. The input need not be sorted; a copy is sorted.
+/// Returns 0 for empty input.
+double quantile(std::vector<double> values, double q);
+
+/// Median shorthand.
+inline double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+/// One (x, F(x)) step of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double fraction;  ///< P(X <= value)
+};
+
+/// Empirical CDF of `values` as sorted steps (one per sample).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
+
+/// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace citymesh::geo

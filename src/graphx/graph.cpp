@@ -1,0 +1,42 @@
+#include "graphx/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace citymesh::graphx {
+
+void GraphBuilder::add_edge(VertexId a, VertexId b, double weight) {
+  if (a >= vertex_count_ || b >= vertex_count_) {
+    throw std::out_of_range{"GraphBuilder::add_edge: vertex id out of range"};
+  }
+  if (a == b) return;  // ignore self-loops; they never help a route
+  edges_.push_back({a, b, weight});
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.offsets_.assign(vertex_count_ + 1, 0);
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.a + 1];
+    ++g.offsets_[e.b + 1];
+  }
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.adjacency_[cursor[e.a]++] = {e.b, e.weight};
+    g.adjacency_[cursor[e.b]++] = {e.a, e.weight};
+  }
+  return g;
+}
+
+bool Graph::has_edge(VertexId a, VertexId b) const {
+  for (const Edge& e : neighbors(a)) {
+    if (e.to == b) return true;
+  }
+  return false;
+}
+
+}  // namespace citymesh::graphx

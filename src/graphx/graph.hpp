@@ -1,0 +1,75 @@
+// A compact undirected weighted graph in compressed-sparse-row form.
+//
+// Both of CityMesh's graphs are instances of this type: the *AP graph*
+// (vertices = access points, edges = pairs within transmission range) and
+// the *building graph* (vertices = buildings, edges = predicted inter-
+// building connectivity, weight = cubed centroid distance).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace citymesh::graphx {
+
+using VertexId = std::uint32_t;
+
+/// One outgoing edge in the CSR adjacency.
+struct Edge {
+  VertexId to;
+  double weight;
+};
+
+class Graph;
+
+/// Incremental builder; add edges in any order, then freeze into a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t vertex_count) : vertex_count_(vertex_count) {}
+
+  /// Add an undirected edge (stored once here, twice in the CSR).
+  void add_edge(VertexId a, VertexId b, double weight = 1.0);
+
+  std::size_t vertex_count() const { return vertex_count_; }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  Graph build() const;
+
+ private:
+  struct RawEdge {
+    VertexId a;
+    VertexId b;
+    double weight;
+  };
+  std::size_t vertex_count_;
+  std::vector<RawEdge> edges_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t vertex_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Number of undirected edges.
+  std::size_t edge_count() const { return adjacency_.size() / 2; }
+
+  /// Neighbors of vertex v with weights.
+  std::span<const Edge> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  bool has_edge(VertexId a, VertexId b) const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;  // vertex_count + 1 entries
+  std::vector<Edge> adjacency_;
+};
+
+}  // namespace citymesh::graphx

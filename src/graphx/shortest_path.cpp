@@ -1,0 +1,177 @@
+#include "graphx/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace citymesh::graphx {
+
+std::vector<VertexId> ShortestPaths::path_to(VertexId target) const {
+  if (!reachable(target)) return {};
+  std::vector<VertexId> path;
+  VertexId v = target;
+  path.push_back(v);
+  while (parent[v] != v) {
+    v = parent[v];
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, VertexId source, std::optional<VertexId> target) {
+  const std::size_t n = g.vertex_count();
+  ShortestPaths sp;
+  sp.distance.assign(n, kInfiniteDistance);
+  sp.parent.resize(n);
+  for (VertexId v = 0; v < n; ++v) sp.parent[v] = v;
+
+  using Item = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  sp.distance[source] = 0.0;
+  heap.push({0.0, source});
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > sp.distance[v]) continue;  // stale entry
+    if (target && v == *target) break;
+    for (const Edge& e : g.neighbors(v)) {
+      if (e.weight < 0.0) throw std::invalid_argument{"dijkstra: negative edge weight"};
+      const double nd = d + e.weight;
+      if (nd < sp.distance[e.to]) {
+        sp.distance[e.to] = nd;
+        sp.parent[e.to] = v;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return sp;
+}
+
+ShortestPaths bellman_ford(const Graph& g, VertexId source) {
+  const std::size_t n = g.vertex_count();
+  ShortestPaths sp;
+  sp.distance.assign(n, kInfiniteDistance);
+  sp.parent.resize(n);
+  for (VertexId v = 0; v < n; ++v) sp.parent[v] = v;
+  sp.distance[source] = 0.0;
+
+  for (std::size_t round = 0; round + 1 < std::max<std::size_t>(n, 1); ++round) {
+    bool changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (sp.distance[v] == kInfiniteDistance) continue;
+      for (const Edge& e : g.neighbors(v)) {
+        const double nd = sp.distance[v] + e.weight;
+        if (nd < sp.distance[e.to]) {
+          sp.distance[e.to] = nd;
+          sp.parent[e.to] = v;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // Negative-cycle check.
+  for (VertexId v = 0; v < n; ++v) {
+    if (sp.distance[v] == kInfiniteDistance) continue;
+    for (const Edge& e : g.neighbors(v)) {
+      if (sp.distance[v] + e.weight < sp.distance[e.to]) {
+        throw std::invalid_argument{"bellman_ford: negative cycle"};
+      }
+    }
+  }
+  return sp;
+}
+
+ShortestPaths bfs(const Graph& g, VertexId source, std::optional<VertexId> target) {
+  const std::size_t n = g.vertex_count();
+  ShortestPaths sp;
+  sp.distance.assign(n, kInfiniteDistance);
+  sp.parent.resize(n);
+  for (VertexId v = 0; v < n; ++v) sp.parent[v] = v;
+
+  std::queue<VertexId> q;
+  sp.distance[source] = 0.0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    if (target && v == *target) break;
+    for (const Edge& e : g.neighbors(v)) {
+      if (sp.distance[e.to] == kInfiniteDistance) {
+        sp.distance[e.to] = sp.distance[v] + 1.0;
+        sp.parent[e.to] = v;
+        q.push(e.to);
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<std::size_t> Components::sizes() const {
+  std::vector<std::size_t> s(count, 0);
+  for (const std::uint32_t c : component_of) ++s[c];
+  return s;
+}
+
+std::uint32_t Components::largest() const {
+  const auto s = sizes();
+  return static_cast<std::uint32_t>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+Components connected_components(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  Components comps;
+  comps.component_of.assign(n, UINT32_MAX);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (comps.component_of[start] != UINT32_MAX) continue;
+    const std::uint32_t id = comps.count++;
+    stack.push_back(start);
+    comps.component_of[start] = id;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const Edge& e : g.neighbors(v)) {
+        if (comps.component_of[e.to] == UINT32_MAX) {
+          comps.component_of[e.to] = id;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), set_count_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  std::uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const std::uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t ra = find(a);
+  std::uint32_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+std::size_t UnionFind::size_of(std::uint32_t x) { return size_[find(x)]; }
+
+}  // namespace citymesh::graphx

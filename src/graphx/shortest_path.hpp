@@ -1,0 +1,73 @@
+// Shortest-path algorithms over Graph.
+//
+// Dijkstra drives the paper's source-route planning (cubed-distance weights
+// over the building graph). Bellman-Ford exists solely as a test oracle for
+// the property suite. BFS measures the *minimum hop count* over the AP graph,
+// which is the denominator of the paper's transmission-overhead metric.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graphx/graph.hpp"
+
+namespace citymesh::graphx {
+
+constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path run.
+struct ShortestPaths {
+  std::vector<double> distance;    ///< per-vertex distance; infinity when unreachable
+  std::vector<VertexId> parent;    ///< per-vertex predecessor; self for source/unreachable
+
+  bool reachable(VertexId v) const { return distance[v] < kInfiniteDistance; }
+
+  /// Vertices from source to `target` inclusive; empty when unreachable.
+  std::vector<VertexId> path_to(VertexId target) const;
+};
+
+/// Dijkstra from `source`. All edge weights must be non-negative.
+/// If `target` is set, the search stops once the target is settled.
+ShortestPaths dijkstra(const Graph& g, VertexId source,
+                       std::optional<VertexId> target = std::nullopt);
+
+/// Bellman-Ford oracle (O(VE)); throws std::invalid_argument on negative cycles.
+ShortestPaths bellman_ford(const Graph& g, VertexId source);
+
+/// Unweighted BFS; distance counts hops.
+ShortestPaths bfs(const Graph& g, VertexId source,
+                  std::optional<VertexId> target = std::nullopt);
+
+/// Connected components; returns per-vertex component id (0-based, dense)
+/// and the number of components.
+struct Components {
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t count = 0;
+
+  /// Size of each component.
+  std::vector<std::size_t> sizes() const;
+  /// Id of the largest component.
+  std::uint32_t largest() const;
+};
+
+Components connected_components(const Graph& g);
+
+/// Disjoint-set union with path compression and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::uint32_t find(std::uint32_t x);
+  /// Returns true when the two sets were merged (false if already joined).
+  bool unite(std::uint32_t a, std::uint32_t b);
+  bool connected(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+  std::size_t set_count() const { return set_count_; }
+  std::size_t size_of(std::uint32_t x);
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t set_count_;
+};
+
+}  // namespace citymesh::graphx

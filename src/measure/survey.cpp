@@ -1,0 +1,155 @@
+#include "measure/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "geo/spatial_grid.hpp"
+#include "mesh/ap_network.hpp"
+
+namespace citymesh::measure {
+
+std::size_t SurveyDataset::unique_aps() const {
+  std::unordered_set<BeaconId> ids;
+  for (const auto& m : measurements) ids.insert(m.visible.begin(), m.visible.end());
+  return ids.size();
+}
+
+BeaconPopulation place_beacons(const osmx::City& city, const SurveyConfig& config) {
+  // Reuse the footprint-constrained placer; the transmission range it wants
+  // is irrelevant here (we assign per-radio visibility below).
+  mesh::PlacementConfig placement;
+  placement.density_per_m2 = config.beacon_density_per_m2;
+  placement.transmission_range_m = 1.0;
+  placement.seed = config.seed * 31 + 7;
+  const mesh::ApNetwork placed = mesh::place_aps(city, placement);
+
+  BeaconPopulation pop;
+  pop.positions.reserve(placed.ap_count());
+  pop.visibility_m.reserve(placed.ap_count());
+  pop.area.reserve(placed.ap_count());
+
+  geo::Rng rng{config.seed * 97 + 3};
+  for (const auto& ap : placed.aps()) {
+    const osmx::AreaType area = city.building(ap.building).area;
+    const auto it = config.areas.find(area);
+    // Radios outside surveyed areas still beacon; give them the residential
+    // propagation profile as the neutral default.
+    const AreaParams params =
+        it != config.areas.end()
+            ? it->second
+            : config.areas.count(osmx::AreaType::kResidential)
+                  ? config.areas.at(osmx::AreaType::kResidential)
+                  : AreaParams{};
+    const double radius =
+        params.visibility_mean_m * std::exp(params.visibility_sigma * rng.normal());
+    pop.positions.push_back(ap.position);
+    pop.visibility_m.push_back(radius);
+    pop.area.push_back(area);
+  }
+  return pop;
+}
+
+namespace {
+
+/// Serpentine waypoint path across a region: west-east passes separated by
+/// `spacing`, clipped to the region. Models the paper's walk/bike coverage.
+std::vector<geo::Point> serpentine(const geo::Rect& region, double spacing) {
+  std::vector<geo::Point> waypoints;
+  bool left_to_right = true;
+  for (double y = region.min.y + spacing / 2.0; y < region.max.y; y += spacing) {
+    const geo::Point a{left_to_right ? region.min.x : region.max.x, y};
+    const geo::Point b{left_to_right ? region.max.x : region.min.x, y};
+    waypoints.push_back(a);
+    waypoints.push_back(b);
+    left_to_right = !left_to_right;
+  }
+  return waypoints;
+}
+
+}  // namespace
+
+std::vector<SurveyDataset> run_survey(const osmx::City& city, const SurveyConfig& config) {
+  const BeaconPopulation beacons = place_beacons(city, config);
+  double max_visibility = 0.0;
+  for (const double v : beacons.visibility_m) max_visibility = std::max(max_visibility, v);
+  const geo::SpatialGrid grid{std::max(50.0, max_visibility / 2.0), beacons.positions};
+
+  std::vector<SurveyDataset> datasets;
+  geo::Rng rng{config.seed};
+
+  for (const auto& region : city.regions()) {
+    const auto params_it = config.areas.find(region.type);
+    if (params_it == config.areas.end()) continue;
+    // The blanket residential region covers the whole city; survey only a
+    // representative sub-rectangle so the trajectory matches a real outing.
+    geo::Rect bounds = region.bounds;
+    if (region.type == osmx::AreaType::kResidential) {
+      const geo::Point c{bounds.min.x + bounds.width() * 0.78,
+                         bounds.min.y + bounds.height() * 0.25};
+      bounds = {{c.x - 450.0, c.y - 350.0}, {c.x + 450.0, c.y + 350.0}};
+    }
+    const AreaParams& params = params_it->second;
+
+    SurveyDataset dataset;
+    dataset.name = region.name;
+    dataset.area = region.type;
+
+    const auto waypoints = serpentine(bounds, config.pass_spacing_m);
+    if (waypoints.size() < 2) continue;
+
+    double time_s = 0.0;
+    std::size_t wp = 0;
+    geo::Point pos = waypoints[0];
+    while (dataset.measurements.size() < params.target_samples) {
+      // Advance along the waypoint path by one inter-sample distance.
+      const double hz = rng.uniform(config.sample_hz_min, config.sample_hz_max);
+      const double dt = 1.0 / hz;
+      double remaining = config.speed_mps * dt;
+      while (remaining > 0.0 && wp + 1 < waypoints.size()) {
+        const geo::Point target = waypoints[wp + 1];
+        const double leg = geo::distance(pos, target);
+        if (leg <= remaining) {
+          pos = target;
+          remaining -= leg;
+          ++wp;
+        } else {
+          pos = geo::lerp(pos, target, remaining / leg);
+          remaining = 0.0;
+        }
+      }
+      if (wp + 1 >= waypoints.size()) wp = 0;  // loop the route until quota met
+      time_s += dt;
+
+      // GPS jitter on the recorded location (a few meters, like the paper's
+      // handheld receivers).
+      Measurement m;
+      m.time_s = time_s;
+      m.location = {pos.x + rng.normal(0.0, 3.0), pos.y + rng.normal(0.0, 3.0)};
+      if (city.in_water(m.location)) continue;  // can't stand in the river
+
+      grid.for_each_in_radius(pos, max_visibility, [&](std::uint32_t id, geo::Point q) {
+        if (geo::distance(pos, q) <= beacons.visibility_m[id]) {
+          m.visible.push_back(id);
+        }
+      });
+      std::sort(m.visible.begin(), m.visible.end());
+      dataset.measurements.push_back(std::move(m));
+    }
+    datasets.push_back(std::move(dataset));
+  }
+  return datasets;
+}
+
+SurveyDataset merge_datasets(const std::vector<SurveyDataset>& datasets) {
+  SurveyDataset all;
+  all.name = "all";
+  all.area = osmx::AreaType::kOther;
+  for (const auto& d : datasets) {
+    all.measurements.insert(all.measurements.end(), d.measurements.begin(),
+                            d.measurements.end());
+  }
+  return all;
+}
+
+}  // namespace citymesh::measure

@@ -1,0 +1,99 @@
+#include "measure/survey_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geo/geometry.hpp"
+
+namespace citymesh::measure {
+
+std::vector<double> macs_per_measurement(const SurveyDataset& dataset) {
+  std::vector<double> out;
+  out.reserve(dataset.measurements.size());
+  for (const auto& m : dataset.measurements) {
+    out.push_back(static_cast<double>(m.visible.size()));
+  }
+  return out;
+}
+
+std::vector<double> spread_per_ap(const SurveyDataset& dataset) {
+  std::unordered_map<BeaconId, std::vector<geo::Point>> sightings;
+  for (const auto& m : dataset.measurements) {
+    for (const BeaconId id : m.visible) sightings[id].push_back(m.location);
+  }
+  std::vector<double> out;
+  out.reserve(sightings.size());
+  for (auto& [id, locations] : sightings) {
+    out.push_back(geo::max_pairwise_distance(locations));
+  }
+  return out;
+}
+
+std::size_t common_count(const std::vector<BeaconId>& a, const std::vector<BeaconId>& b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+std::vector<DistanceBin> common_ap_bins(const SurveyDataset& dataset,
+                                        const CommonApConfig& config) {
+  const auto& ms = dataset.measurements;
+  const std::size_t n = ms.size();
+  const std::size_t bin_count =
+      static_cast<std::size_t>(std::ceil(config.max_distance_m / config.bin_width_m));
+  std::vector<std::vector<double>> per_bin(bin_count);
+
+  auto record_pair = [&](std::size_t i, std::size_t j) {
+    const double d = geo::distance(ms[i].location, ms[j].location);
+    if (d >= config.max_distance_m) return;
+    const auto bin = static_cast<std::size_t>(d / config.bin_width_m);
+    per_bin[bin].push_back(static_cast<double>(common_count(ms[i].visible, ms[j].visible)));
+  };
+
+  const std::size_t total_pairs = n > 1 ? n * (n - 1) / 2 : 0;
+  if (total_pairs <= config.max_pairs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) record_pair(i, j);
+    }
+  } else {
+    geo::Rng rng{config.seed};
+    for (std::size_t k = 0; k < config.max_pairs; ++k) {
+      const std::size_t i = rng.uniform_int(n);
+      std::size_t j = rng.uniform_int(n);
+      while (j == i) j = rng.uniform_int(n);
+      record_pair(i, j);
+    }
+  }
+
+  std::vector<DistanceBin> bins;
+  bins.reserve(bin_count);
+  for (std::size_t b = 0; b < bin_count; ++b) {
+    DistanceBin bin;
+    bin.lo_m = static_cast<double>(b) * config.bin_width_m;
+    bin.hi_m = bin.lo_m + config.bin_width_m;
+    bin.pair_count = per_bin[b].size();
+    if (!per_bin[b].empty()) {
+      bin.q10 = geo::quantile(per_bin[b], 0.10);
+      bin.q25 = geo::quantile(per_bin[b], 0.25);
+      bin.q50 = geo::quantile(per_bin[b], 0.50);
+      bin.q75 = geo::quantile(per_bin[b], 0.75);
+      bin.q100 = geo::quantile(per_bin[b], 1.00);
+    }
+    bins.push_back(bin);
+  }
+  return bins;
+}
+
+}  // namespace citymesh::measure

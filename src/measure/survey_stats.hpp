@@ -1,0 +1,47 @@
+// Statistics over survey datasets: the exact quantities plotted in the
+// paper's Table 1, Figure 1a, Figure 1b, and Figure 2.
+#pragma once
+
+#include <vector>
+
+#include "geo/stats.hpp"
+#include "measure/survey.hpp"
+
+namespace citymesh::measure {
+
+/// Figure 1a input: number of MAC addresses seen at each measurement.
+std::vector<double> macs_per_measurement(const SurveyDataset& dataset);
+
+/// Figure 1b input: per unique AP, the spread (max distance between any two
+/// locations where that AP was heard). APs heard only once have spread 0.
+std::vector<double> spread_per_ap(const SurveyDataset& dataset);
+
+/// One distance bin of Figure 2.
+struct DistanceBin {
+  double lo_m = 0.0;
+  double hi_m = 0.0;
+  std::size_t pair_count = 0;
+  /// Quantiles of the common-AP count over pairs in this bin, matching the
+  /// paper's whiskers: 10%, 25%, 50%, 75%, 100%.
+  double q10 = 0.0, q25 = 0.0, q50 = 0.0, q75 = 0.0, q100 = 0.0;
+};
+
+struct CommonApConfig {
+  double bin_width_m = 50.0;
+  double max_distance_m = 500.0;
+  /// Pair sampling cap. The paper brute-forces all pairs of a few thousand
+  /// measurements; we sample uniformly when the pair count would exceed the
+  /// cap, which leaves the per-bin distributions unchanged in expectation.
+  std::size_t max_pairs = 400'000;
+  std::uint64_t seed = 5;
+};
+
+/// Figure 2: distribution of the number of APs observed in common between
+/// measurement pairs, binned by the pair's distance.
+std::vector<DistanceBin> common_ap_bins(const SurveyDataset& dataset,
+                                        const CommonApConfig& config);
+
+/// Size of the intersection of two sorted id vectors.
+std::size_t common_count(const std::vector<BeaconId>& a, const std::vector<BeaconId>& b);
+
+}  // namespace citymesh::measure

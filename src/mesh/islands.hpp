@@ -1,0 +1,45 @@
+// Island analysis and gap bridging.
+//
+// §4 observes that rivers, parks and highways fracture some cities (e.g.
+// Washington D.C.) into "islands of connectivity" and proposes that "the
+// addition of a small number of well-placed APs would serve to bridge
+// connectivity between these islands". This module quantifies the islands
+// and implements that proposal: a greedy planner that repeatedly connects
+// the two largest islands with a chain of evenly spaced APs along the
+// closest gap.
+#pragma once
+
+#include <vector>
+
+#include "mesh/ap_network.hpp"
+
+namespace citymesh::mesh {
+
+struct IslandReport {
+  std::size_t island_count = 0;
+  std::vector<std::size_t> sizes;          ///< APs per island, descending
+  double largest_fraction = 0.0;           ///< |largest island| / |APs|
+};
+
+IslandReport analyze_islands(const ApNetwork& network);
+
+struct BridgePlan {
+  /// Positions for the new gap-bridging APs, in placement order.
+  std::vector<geo::Point> new_aps;
+  /// Island count before/after applying the plan.
+  std::size_t islands_before = 0;
+  std::size_t islands_after = 0;
+};
+
+/// Plan bridge APs until at most `target_islands` islands remain (among
+/// islands with at least `min_island_size` APs; stragglers of one or two
+/// APs in odd buildings are not worth bridging) or `max_new_aps` is hit.
+BridgePlan plan_bridges(const ApNetwork& network, std::size_t target_islands = 1,
+                        std::size_t max_new_aps = 64,
+                        std::size_t min_island_size = 8);
+
+/// Apply a plan: returns a new network containing the original APs plus the
+/// bridge APs (attributed to the nearest existing building).
+ApNetwork apply_bridges(const ApNetwork& network, const BridgePlan& plan);
+
+}  // namespace citymesh::mesh

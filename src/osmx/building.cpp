@@ -1,0 +1,51 @@
+#include "osmx/building.hpp"
+
+#include <stdexcept>
+
+namespace citymesh::osmx {
+
+std::string_view to_string(AreaType t) {
+  switch (t) {
+    case AreaType::kDowntown: return "downtown";
+    case AreaType::kCampus: return "campus";
+    case AreaType::kResidential: return "residential";
+    case AreaType::kRiver: return "river";
+    case AreaType::kOther: return "other";
+  }
+  return "unknown";
+}
+
+BuildingId City::add_building(geo::Polygon footprint, AreaType area) {
+  if (footprint.empty()) {
+    throw std::invalid_argument{"City::add_building: footprint needs >= 3 vertices"};
+  }
+  Building b;
+  b.id = static_cast<BuildingId>(buildings_.size());
+  b.centroid = footprint.centroid();
+  b.footprint = std::move(footprint);
+  b.area = area;
+  buildings_.push_back(std::move(b));
+  return buildings_.back().id;
+}
+
+bool City::in_water(geo::Point p) const {
+  for (const auto& poly : water_) {
+    if (poly.contains(p)) return true;
+  }
+  return false;
+}
+
+AreaType City::area_at(geo::Point p) const {
+  for (const auto& region : regions_) {
+    if (region.bounds.contains(p)) return region.type;
+  }
+  return AreaType::kOther;
+}
+
+double City::total_building_area() const {
+  double total = 0.0;
+  for (const auto& b : buildings_) total += b.area_m2();
+  return total;
+}
+
+}  // namespace citymesh::osmx

@@ -1,0 +1,88 @@
+// Building footprints and the City container.
+//
+// A City is the static geospatial input to CityMesh: building footprints
+// (from OSM or the synthetic generator), water and park polygons (the
+// connectivity gaps §4 blames for fractured cities), and area-type labels
+// used by the measurement-study reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace citymesh::osmx {
+
+using BuildingId = std::uint32_t;
+
+/// Area classification used by the §2 measurement study.
+enum class AreaType : std::uint8_t {
+  kDowntown,
+  kCampus,
+  kResidential,
+  kRiver,
+  kOther,
+};
+
+std::string_view to_string(AreaType t);
+
+struct Building {
+  BuildingId id = 0;
+  geo::Polygon footprint;
+  geo::Point centroid;  ///< cached footprint centroid
+  AreaType area = AreaType::kOther;
+
+  double area_m2() const { return footprint.area(); }
+};
+
+/// A named region of the city (used for surveys and rendering).
+struct Region {
+  std::string name;
+  AreaType type = AreaType::kOther;
+  geo::Rect bounds;
+};
+
+class City {
+ public:
+  City() = default;
+  City(std::string name, geo::Rect extent) : name_(std::move(name)), extent_(extent) {}
+
+  const std::string& name() const { return name_; }
+  const geo::Rect& extent() const { return extent_; }
+
+  const std::vector<Building>& buildings() const { return buildings_; }
+  const Building& building(BuildingId id) const { return buildings_.at(id); }
+  std::size_t building_count() const { return buildings_.size(); }
+
+  const std::vector<geo::Polygon>& water() const { return water_; }
+  const std::vector<geo::Polygon>& parks() const { return parks_; }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Adds a building; its id is assigned densely in insertion order so that
+  /// spatially-ordered generation yields delta-friendly ids.
+  BuildingId add_building(geo::Polygon footprint, AreaType area = AreaType::kOther);
+
+  void add_water(geo::Polygon p) { water_.push_back(std::move(p)); }
+  void add_park(geo::Polygon p) { parks_.push_back(std::move(p)); }
+  void add_region(Region r) { regions_.push_back(std::move(r)); }
+
+  /// True if `p` lies inside any water polygon.
+  bool in_water(geo::Point p) const;
+
+  /// Area type of the first region containing `p` (kOther when none).
+  AreaType area_at(geo::Point p) const;
+
+  /// Total footprint area in m^2.
+  double total_building_area() const;
+
+ private:
+  std::string name_;
+  geo::Rect extent_{};
+  std::vector<Building> buildings_;
+  std::vector<geo::Polygon> water_;
+  std::vector<geo::Polygon> parks_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace citymesh::osmx

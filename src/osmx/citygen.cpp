@@ -1,0 +1,333 @@
+#include "osmx/citygen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/rng.hpp"
+
+namespace citymesh::osmx {
+
+namespace {
+
+struct RiverBand {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool vertical = false;
+  bool parkland_banks = true;
+  std::vector<geo::Rect> bridge_rects;  // building-free dry crossings
+};
+
+RiverBand band_of(const RiverSpec& spec, const geo::Rect& extent) {
+  RiverBand band;
+  band.vertical = spec.vertical;
+  band.parkland_banks = spec.parkland_banks;
+  const double span = spec.vertical ? extent.width() : extent.height();
+  const double center = (spec.vertical ? extent.min.x : extent.min.y) +
+                        spec.position_frac * span;
+  band.lo = center - spec.width_m / 2.0;
+  band.hi = center + spec.width_m / 2.0;
+  const double along_span = spec.vertical ? extent.height() : extent.width();
+  const double along_min = spec.vertical ? extent.min.y : extent.min.x;
+  for (const double frac : spec.bridges) {
+    const double along = along_min + frac * along_span;
+    if (spec.vertical) {
+      band.bridge_rects.push_back(
+          {{band.lo, along - spec.bridge_width_m / 2.0},
+           {band.hi, along + spec.bridge_width_m / 2.0}});
+    } else {
+      band.bridge_rects.push_back(
+          {{along - spec.bridge_width_m / 2.0, band.lo},
+           {along + spec.bridge_width_m / 2.0, band.hi}});
+    }
+  }
+  return band;
+}
+
+bool rect_touches_band(const geo::Rect& r, const RiverBand& band) {
+  if (band.vertical) return r.min.x < band.hi && r.max.x > band.lo;
+  return r.min.y < band.hi && r.max.y > band.lo;
+}
+
+geo::Polygon band_polygon(const RiverBand& band, const geo::Rect& extent) {
+  if (band.vertical) {
+    return geo::Polygon::rectangle({{band.lo, extent.min.y}, {band.hi, extent.max.y}});
+  }
+  return geo::Polygon::rectangle({{extent.min.x, band.lo}, {extent.max.x, band.hi}});
+}
+
+}  // namespace
+
+City generate_city(const CityProfile& profile) {
+  if (profile.width_m <= 0 || profile.height_m <= 0) {
+    throw std::invalid_argument{"generate_city: non-positive extent"};
+  }
+  const geo::Rect extent{{0.0, 0.0}, {profile.width_m, profile.height_m}};
+  City city{profile.name, extent};
+  geo::Rng rng{profile.seed};
+
+  // Water bands first (rendered below buildings, queried during placement).
+  std::vector<RiverBand> bands;
+  bands.reserve(profile.rivers.size());
+  for (const auto& spec : profile.rivers) {
+    bands.push_back(band_of(spec, extent));
+    city.add_water(band_polygon(bands.back(), extent));
+  }
+
+  // Survey regions. Order matters: City::area_at takes the first match.
+  const geo::Point center = extent.center();
+  const double half_extent = std::min(extent.width(), extent.height()) / 2.0;
+  const double core_r = profile.downtown_radius_frac * half_extent;
+  if (profile.campus_frac) {
+    const geo::Rect& f = *profile.campus_frac;
+    city.add_region({"campus", AreaType::kCampus,
+                     {{extent.min.x + f.min.x * extent.width(),
+                       extent.min.y + f.min.y * extent.height()},
+                      {extent.min.x + f.max.x * extent.width(),
+                       extent.min.y + f.max.y * extent.height()}}});
+  }
+  for (const auto& band : bands) {
+    constexpr double kRiverMargin = 90.0;  // banks walkable in the survey
+    if (band.vertical) {
+      city.add_region({"river", AreaType::kRiver,
+                       {{band.lo - kRiverMargin, extent.min.y},
+                        {band.hi + kRiverMargin, extent.max.y}}});
+    } else {
+      city.add_region({"river", AreaType::kRiver,
+                       {{extent.min.x, band.lo - kRiverMargin},
+                        {extent.max.x, band.hi + kRiverMargin}}});
+    }
+  }
+  city.add_region({"downtown", AreaType::kDowntown,
+                   {{center.x - core_r, center.y - core_r},
+                    {center.x + core_r, center.y + core_r}}});
+  city.add_region({"residential", AreaType::kResidential, extent});
+
+  // Blocks, row-major so building ids are spatially coherent.
+  const double stride_x = profile.block_w + profile.street_w;
+  const double stride_y = profile.block_h + profile.street_w;
+  const int cols = std::max(1, static_cast<int>(extent.width() / stride_x));
+  const int rows = std::max(1, static_cast<int>(extent.height() / stride_y));
+
+  for (int row = 0; row < rows; ++row) {
+    for (int col = 0; col < cols; ++col) {
+      const geo::Rect block{
+          {extent.min.x + col * stride_x + profile.street_w / 2.0,
+           extent.min.y + row * stride_y + profile.street_w / 2.0},
+          {extent.min.x + col * stride_x + profile.street_w / 2.0 + profile.block_w,
+           extent.min.y + row * stride_y + profile.street_w / 2.0 + profile.block_h}};
+
+      // Blocks fully inside a river band produce nothing; partially wet
+      // blocks still generate buildings, which are rejected individually
+      // below so the fabric runs right up to the water's edge (narrow urban
+      // canals like the Chicago River are crossable by 50 m radios exactly
+      // because of this).
+      bool submerged = false;
+      for (const auto& band : bands) {
+        const bool fully_inside =
+            band.vertical ? (block.min.x >= band.lo && block.max.x <= band.hi)
+                          : (block.min.y >= band.lo && block.max.y <= band.hi);
+        if (fully_inside) {
+          submerged = true;
+          break;
+        }
+      }
+      if (submerged) continue;
+
+      // Riverbank blocks (esplanades, memorial drives) are parkland with
+      // elevated probability - this is what keeps the river survey area's
+      // AP density characteristically low.
+      bool near_river = false;
+      for (const auto& band : bands) {
+        if (!band.parkland_banks) continue;
+        const double lo = band.lo - profile.riverbank_park_margin_m;
+        const double hi = band.hi + profile.riverbank_park_margin_m;
+        const bool touches = band.vertical ? (block.min.x < hi && block.max.x > lo)
+                                           : (block.min.y < hi && block.max.y > lo);
+        if (touches) {
+          near_river = true;
+          break;
+        }
+      }
+      const double park_p =
+          near_river ? std::max(profile.park_fraction, profile.riverbank_park_fraction)
+                     : profile.park_fraction;
+      if (rng.chance(park_p)) {
+        city.add_park(geo::Polygon::rectangle(block));
+        continue;
+      }
+
+      const geo::Point block_center = block.center();
+      const bool downtown = geo::distance(block_center, center) <= core_r;
+      const double scale = downtown ? profile.downtown_scale : 1.0;
+      const double coverage =
+          downtown ? profile.downtown_coverage : profile.building_coverage;
+      const double bw = profile.mean_building_w * scale;
+      const double bd = profile.mean_building_d * scale;
+
+      // Lay buildings on a jittered sub-grid sized to hit target coverage.
+      const double cell_w = bw / std::sqrt(coverage);
+      const double cell_d = bd / std::sqrt(coverage);
+      const int nx = std::max(1, static_cast<int>(block.width() / cell_w));
+      const int ny = std::max(1, static_cast<int>(block.height() / cell_d));
+      for (int by = 0; by < ny; ++by) {
+        for (int bx = 0; bx < nx; ++bx) {
+          const double cx =
+              block.min.x + (bx + 0.5) * block.width() / nx + rng.uniform(-2.0, 2.0);
+          const double cy =
+              block.min.y + (by + 0.5) * block.height() / ny + rng.uniform(-2.0, 2.0);
+          const double w = bw * rng.uniform(0.75, 1.25);
+          const double d = bd * rng.uniform(0.75, 1.25);
+          geo::Rect fp{{cx - w / 2.0, cy - d / 2.0}, {cx + w / 2.0, cy + d / 2.0}};
+          // Clip to the block so footprints never straddle streets.
+          fp.min.x = std::max(fp.min.x, block.min.x);
+          fp.min.y = std::max(fp.min.y, block.min.y);
+          fp.max.x = std::min(fp.max.x, block.max.x);
+          fp.max.y = std::min(fp.max.y, block.max.y);
+          if (fp.width() < 4.0 || fp.height() < 4.0) continue;
+          // No building may stand in the water.
+          bool wet = false;
+          for (const auto& band : bands) {
+            if (rect_touches_band(fp, band)) {
+              wet = true;
+              break;
+            }
+          }
+          if (wet) continue;
+          const AreaType area = city.area_at({cx, cy});
+          city.add_building(geo::Polygon::rectangle(fp), area);
+        }
+      }
+    }
+  }
+  return city;
+}
+
+std::vector<CityProfile> default_profiles() {
+  std::vector<CityProfile> out;
+
+  {  // Boston: Charles River along the top, dense core, campus strip.
+    CityProfile p;
+    p.name = "boston";
+    p.width_m = 3200;
+    p.height_m = 2800;
+    p.rivers.push_back({.position_frac = 0.86, .width_m = 170.0, .vertical = false,
+                        .bridges = {0.25, 0.6}});
+    p.campus_frac = geo::Rect{{0.05, 0.62}, {0.30, 0.80}};
+    p.seed = 11;
+    out.push_back(p);
+  }
+  {  // Cambridge: tighter blocks, large campus share, river at the bottom.
+    CityProfile p;
+    p.name = "cambridge";
+    p.width_m = 2600;
+    p.height_m = 2400;
+    p.block_w = 100;
+    p.block_h = 80;
+    p.rivers.push_back({.position_frac = 0.08, .width_m = 150.0, .vertical = false,
+                        .bridges = {0.5}});
+    p.campus_frac = geo::Rect{{0.30, 0.15}, {0.62, 0.45}};
+    p.downtown_radius_frac = 0.22;
+    p.seed = 12;
+    out.push_back(p);
+  }
+  {  // Washington D.C.: a wide unbridged river fractures the city (paper §4).
+    CityProfile p;
+    p.name = "washington_dc";
+    p.width_m = 3400;
+    p.height_m = 3000;
+    p.rivers.push_back({.position_frac = 0.38, .width_m = 320.0, .vertical = true, .bridges = {}});
+    p.park_fraction = 0.10;  // the Mall and large federal parks
+    p.seed = 13;
+    out.push_back(p);
+  }
+  {  // New York: largest extent, dense tall-block fabric, no interior water.
+    CityProfile p;
+    p.name = "new_york";
+    p.width_m = 3800;
+    p.height_m = 3400;
+    p.block_w = 80;
+    p.block_h = 200;  // Manhattan-style elongated blocks
+    p.building_coverage = 0.55;
+    p.downtown_coverage = 0.68;
+    p.downtown_scale = 2.2;
+    p.park_fraction = 0.03;
+    p.seed = 14;
+    out.push_back(p);
+  }
+  {  // San Francisco: small blocks, high coverage, one large park band.
+    CityProfile p;
+    p.name = "san_francisco";
+    p.width_m = 2800;
+    p.height_m = 2600;
+    p.block_w = 90;
+    p.block_h = 70;
+    p.building_coverage = 0.56;
+    p.park_fraction = 0.08;
+    p.seed = 15;
+    out.push_back(p);
+  }
+  {  // Chicago: river forks through downtown, narrow and bridged.
+    CityProfile p;
+    p.name = "chicago";
+    p.width_m = 3200;
+    p.height_m = 3000;
+    p.rivers.push_back({.position_frac = 0.52, .width_m = 45.0, .vertical = true,
+                        .bridges = {0.2, 0.45, 0.7}, .parkland_banks = false});
+    p.building_coverage = 0.52;
+    p.seed = 16;
+    out.push_back(p);
+  }
+  {  // Seattle: water on the western edge, moderate density, hills as parks.
+    CityProfile p;
+    p.name = "seattle";
+    p.width_m = 3000;
+    p.height_m = 2800;
+    p.rivers.push_back({.position_frac = 0.05, .width_m = 220.0, .vertical = true, .bridges = {}});
+    p.park_fraction = 0.09;
+    p.seed = 17;
+    out.push_back(p);
+  }
+  {  // Austin: the Colorado River crosses the middle with a couple of bridges.
+    CityProfile p;
+    p.name = "austin";
+    p.width_m = 3000;
+    p.height_m = 2600;
+    p.rivers.push_back({.position_frac = 0.5, .width_m = 130.0, .vertical = false,
+                        .bridges = {0.35, 0.65}});
+    p.building_coverage = 0.50;
+    p.block_w = 110;
+    p.seed = 18;
+    out.push_back(p);
+  }
+  {  // Miami: dense coastal strip with water on the east edge.
+    CityProfile p;
+    p.name = "miami";
+    p.width_m = 2600;
+    p.height_m = 3200;
+    p.rivers.push_back({.position_frac = 0.94, .width_m = 260.0, .vertical = true, .bridges = {}});
+    p.building_coverage = 0.55;
+    p.seed = 19;
+    out.push_back(p);
+  }
+  {  // Minneapolis: the Mississippi splits the city; one bridge.
+    CityProfile p;
+    p.name = "minneapolis";
+    p.width_m = 3000;
+    p.height_m = 2800;
+    p.rivers.push_back({.position_frac = 0.6, .width_m = 180.0, .vertical = true,
+                        .bridges = {0.5}});
+    p.seed = 20;
+    out.push_back(p);
+  }
+  return out;
+}
+
+CityProfile profile_by_name(const std::string& name) {
+  for (auto& p : default_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range{"profile_by_name: unknown city " + name};
+}
+
+}  // namespace citymesh::osmx

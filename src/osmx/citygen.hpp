@@ -1,0 +1,95 @@
+// Synthetic city generator.
+//
+// The paper evaluates CityMesh on OSM building footprints for ~10 US cities.
+// This environment has no network access, so we substitute a deterministic
+// generator that reproduces the *structural* properties the evaluation
+// depends on (see DESIGN.md §2):
+//   - a street grid of blocks filled with rectangular building footprints,
+//   - a dense downtown core with larger buildings and higher coverage,
+//   - park blocks with no buildings,
+//   - rivers: axis-aligned water bands that interrupt the building fabric
+//     (optionally with bridge gaps), which is what fractures cities like
+//     Washington D.C. into islands in the paper's simulations,
+//   - labeled survey areas (downtown / campus / residential / river) for the
+//     §2 measurement-study reproduction.
+//
+// Buildings are emitted in row-major block order, so ids are spatially
+// coherent and the delta-coded route header stays small.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osmx/building.hpp"
+
+namespace citymesh::osmx {
+
+/// An axis-aligned water band crossing the full extent.
+struct RiverSpec {
+  double position_frac = 0.5;  ///< center position as a fraction of the extent
+  double width_m = 120.0;
+  bool vertical = false;  ///< true: band of constant x; false: constant y
+  /// Bridge gaps: building-free but water-free crossings (fractions along
+  /// the river where a street crosses). Empty means the river is unbroken.
+  std::vector<double> bridges;
+  double bridge_width_m = 30.0;
+  /// Wide rivers (the Charles, the Potomac) have esplanade parkland on the
+  /// banks; narrow urban canals (the Chicago River) are built right up to
+  /// the water. Controls whether riverbank_park_fraction applies.
+  bool parkland_banks = true;
+};
+
+struct CityProfile {
+  std::string name = "city";
+  double width_m = 3000.0;
+  double height_m = 3000.0;
+
+  // Block fabric. Defaults are calibrated against the paper's simulation
+  // regime: at 50 m range and 1 AP / 200 m^2, contiguous row-house-style
+  // fabric (tight in-block gaps, ~12 m streets) yields a robustly connected
+  // AP mesh — the precondition for the paper's high deliverability. Sparser
+  // suburban parameters push the mesh toward the percolation threshold and
+  // deliverability collapses (see bench/ablation_density).
+  double block_w = 100.0;  ///< block width (x), meters
+  double block_h = 80.0;   ///< block height (y), meters
+  double street_w = 12.0;  ///< street width between blocks
+
+  double mean_building_w = 18.0;  ///< typical footprint extent
+  double mean_building_d = 14.0;
+  double building_coverage = 0.55;  ///< target covered fraction per block
+
+  double downtown_radius_frac = 0.28;  ///< core radius / half-extent
+  double downtown_scale = 1.9;         ///< core building-size multiplier
+  double downtown_coverage = 0.65;     ///< core coverage
+
+  double park_fraction = 0.05;  ///< probability a block is a park
+
+  std::vector<RiverSpec> rivers;
+  /// Riverbank parkland (esplanades, memorial drives): blocks whose edge is
+  /// within this margin of a river band become parks with the probability
+  /// below. This is what gives the river survey area its characteristically
+  /// low AP density (paper Figure 1a: river median 60 MACs vs downtown 218).
+  double riverbank_park_margin_m = 80.0;
+  double riverbank_park_fraction = 0.65;
+
+  /// Optional campus region (a rect in extent fractions) mirroring the
+  /// paper's "in and around the MIT campus" survey area.
+  std::optional<geo::Rect> campus_frac;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate a synthetic city from a profile. Deterministic in the profile.
+City generate_city(const CityProfile& profile);
+
+/// The ten city profiles used by the Figure-6 reproduction. Named after the
+/// paper's likely survey set; the structural parameters (extent, density,
+/// water) are what differentiates them, not the names.
+std::vector<CityProfile> default_profiles();
+
+/// Look up one of the default profiles by name; throws std::out_of_range.
+CityProfile profile_by_name(const std::string& name);
+
+}  // namespace citymesh::osmx

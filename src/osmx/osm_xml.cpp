@@ -1,0 +1,205 @@
+#include "osmx/osm_xml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/projection.hpp"
+
+namespace citymesh::osmx {
+
+namespace {
+
+struct XmlElement {
+  std::string name;
+  std::unordered_map<std::string, std::string> attrs;
+  bool self_closing = false;
+  bool closing = false;  // </name>
+};
+
+// Scans a document for elements; skips text, comments, and declarations.
+class ElementScanner {
+ public:
+  explicit ElementScanner(std::string_view doc) : doc_(doc) {}
+
+  /// Next element, or nullopt at end of document.
+  std::optional<XmlElement> next() {
+    while (true) {
+      const std::size_t open = doc_.find('<', pos_);
+      if (open == std::string_view::npos) return std::nullopt;
+      // Comments and processing instructions.
+      if (doc_.compare(open, 4, "<!--") == 0) {
+        const std::size_t end = doc_.find("-->", open);
+        if (end == std::string_view::npos) throw OsmParseError{"unterminated comment"};
+        pos_ = end + 3;
+        continue;
+      }
+      if (open + 1 < doc_.size() && (doc_[open + 1] == '?' || doc_[open + 1] == '!')) {
+        const std::size_t end = doc_.find('>', open);
+        if (end == std::string_view::npos) throw OsmParseError{"unterminated declaration"};
+        pos_ = end + 1;
+        continue;
+      }
+      const std::size_t close = doc_.find('>', open);
+      if (close == std::string_view::npos) throw OsmParseError{"unterminated element"};
+      pos_ = close + 1;
+      return parse_element(doc_.substr(open + 1, close - open - 1));
+    }
+  }
+
+ private:
+  static XmlElement parse_element(std::string_view body) {
+    XmlElement e;
+    if (!body.empty() && body.front() == '/') {
+      e.closing = true;
+      body.remove_prefix(1);
+    }
+    if (!body.empty() && body.back() == '/') {
+      e.self_closing = true;
+      body.remove_suffix(1);
+    }
+    std::size_t i = 0;
+    while (i < body.size() && !std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    e.name = std::string{body.substr(0, i)};
+    // Attributes: key="value" pairs.
+    while (i < body.size()) {
+      while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+      if (i >= body.size()) break;
+      const std::size_t key_start = i;
+      while (i < body.size() && body[i] != '=' &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      const std::string key{body.substr(key_start, i - key_start)};
+      while (i < body.size() && (std::isspace(static_cast<unsigned char>(body[i])) || body[i] == '=')) ++i;
+      if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
+        throw OsmParseError("attribute value must be quoted: " + key);
+      }
+      const char quote = body[i++];
+      const std::size_t val_start = i;
+      while (i < body.size() && body[i] != quote) ++i;
+      if (i >= body.size()) throw OsmParseError("unterminated attribute value: " + key);
+      e.attrs[key] = std::string{body.substr(val_start, i - val_start)};
+      ++i;  // skip closing quote
+    }
+    return e;
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+double parse_double(const std::string& s, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw OsmParseError(std::string{"bad numeric attribute: "} + what);
+  }
+  return value;
+}
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw OsmParseError(std::string{"bad integer attribute: "} + what);
+  }
+  return value;
+}
+
+const std::string& require_attr(const XmlElement& e, const std::string& key) {
+  const auto it = e.attrs.find(key);
+  if (it == e.attrs.end()) {
+    throw OsmParseError("element <" + e.name + "> missing attribute " + key);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+City load_osm_xml_string(std::string_view xml, const std::string& name) {
+  std::unordered_map<std::int64_t, geo::LatLon> nodes;
+  struct Way {
+    std::vector<std::int64_t> refs;
+    bool is_building = false;
+  };
+  std::vector<Way> ways;
+
+  ElementScanner scanner{xml};
+  std::optional<Way> current_way;
+  while (auto e = scanner.next()) {
+    if (e->closing) {
+      if (e->name == "way" && current_way) {
+        ways.push_back(std::move(*current_way));
+        current_way.reset();
+      }
+      continue;
+    }
+    if (e->name == "node") {
+      const std::int64_t id = parse_int(require_attr(*e, "id"), "node id");
+      nodes[id] = {parse_double(require_attr(*e, "lat"), "lat"),
+                   parse_double(require_attr(*e, "lon"), "lon")};
+    } else if (e->name == "way") {
+      current_way = Way{};
+      if (e->self_closing) current_way.reset();  // empty way, ignore
+    } else if (e->name == "nd" && current_way) {
+      current_way->refs.push_back(parse_int(require_attr(*e, "ref"), "nd ref"));
+    } else if (e->name == "tag" && current_way) {
+      const auto k = e->attrs.find("k");
+      if (k != e->attrs.end() && k->second == "building") {
+        current_way->is_building = true;
+      }
+    }
+  }
+
+  // Project around the centroid of all referenced nodes.
+  double lat_sum = 0.0;
+  double lon_sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, ll] : nodes) {
+    lat_sum += ll.lat;
+    lon_sum += ll.lon;
+    ++n;
+  }
+  const geo::Projection proj{n > 0 ? geo::LatLon{lat_sum / n, lon_sum / n}
+                                   : geo::LatLon{0, 0}};
+
+  std::vector<geo::Point> all_points;
+  std::vector<geo::Polygon> footprints;
+  for (const auto& way : ways) {
+    if (!way.is_building) continue;
+    // A closed ring repeats its first node last.
+    if (way.refs.size() < 4 || way.refs.front() != way.refs.back()) continue;
+    std::vector<geo::Point> ring;
+    ring.reserve(way.refs.size() - 1);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < way.refs.size(); ++i) {
+      const auto it = nodes.find(way.refs[i]);
+      if (it == nodes.end()) {
+        ok = false;  // dangling ref: extract was clipped; skip the way
+        break;
+      }
+      ring.push_back(proj.to_local(it->second));
+    }
+    if (!ok || ring.size() < 3) continue;
+    footprints.emplace_back(std::move(ring));
+    for (const auto& p : footprints.back().vertices()) all_points.push_back(p);
+  }
+
+  const auto extent = geo::Rect::bounding(all_points);
+  City city{name, extent.value_or(geo::Rect{})};
+  for (auto& fp : footprints) city.add_building(std::move(fp));
+  return city;
+}
+
+City load_osm_xml(std::istream& input, const std::string& name) {
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return load_osm_xml_string(buffer.str(), name);
+}
+
+}  // namespace citymesh::osmx

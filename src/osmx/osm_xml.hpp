@@ -1,0 +1,33 @@
+// Loader for the OSM XML subset CityMesh needs.
+//
+// The paper compiles building footprint data from OpenStreetMap (§4). This
+// reader understands exactly the elements that matter — <node id lat lon>,
+// <way id> with <nd ref=…/> members and <tag k="building" …/> — and turns
+// closed building ways into City footprints projected into the local frame.
+// It is deliberately not a general XML parser (P.11): OSM extracts are
+// machine-generated and regular.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "osmx/building.hpp"
+
+namespace citymesh::osmx {
+
+/// Parse failure (malformed element, missing attribute, dangling nd ref).
+class OsmParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse an OSM XML document. Ways tagged `building=*` that form closed
+/// rings of at least 3 distinct nodes become buildings; everything else is
+/// ignored. `name` labels the resulting City.
+City load_osm_xml(std::istream& input, const std::string& name = "osm");
+
+/// Convenience overload over an in-memory document.
+City load_osm_xml_string(std::string_view xml, const std::string& name = "osm");
+
+}  // namespace citymesh::osmx

@@ -1,0 +1,27 @@
+#include "sim/simulator.hpp"
+
+namespace citymesh::sim {
+
+void Simulator::schedule_at(SimTime t, Handler fn) {
+  if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
+  queue_.push({t, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run(SimTime until, std::size_t max_events) {
+  std::size_t count = 0;
+  while (!queue_.empty() && count < max_events) {
+    if (queue_.top().time > until) break;
+    // priority_queue::top is const; move out via const_cast is UB-adjacent,
+    // so copy the handler (handlers are small lambdas in practice).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++count;
+    ++processed_;
+  }
+  if (queue_.empty() && until != kForever && now_ < until) now_ = until;
+  return count;
+}
+
+}  // namespace citymesh::sim

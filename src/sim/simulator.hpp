@@ -1,0 +1,63 @@
+// Discrete-event simulation engine.
+//
+// Replaces the paper's SimPy harness. Events are (time, sequence) ordered in
+// a binary heap; ties break on insertion order, so runs are deterministic for
+// a given seed. The engine knows nothing about radios — the broadcast medium
+// (medium.hpp) and the protocol agents are layered on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace citymesh::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  void schedule_at(SimTime t, Handler fn);
+
+  /// Schedule `fn` after `delay` seconds (must be >= 0).
+  void schedule_in(SimTime delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the queue drains, `until` is reached, or `max_events` have
+  /// been processed. Returns the number of events processed by this call.
+  std::size_t run(SimTime until = kForever,
+                  std::size_t max_events = std::numeric_limits<std::size_t>::max());
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace citymesh::sim

@@ -1,0 +1,114 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "geo/stats.hpp"
+
+namespace citymesh::viz {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void print_cdf(std::ostream& os, const std::string& title,
+               const std::vector<CdfSeries>& series, const std::string& x_label,
+               int width, int height) {
+  os << "\n== " << title << " ==\n";
+  double x_max = 0.0;
+  for (const auto& s : series) {
+    for (const double v : s.values) x_max = std::max(x_max, v);
+  }
+  if (x_max <= 0.0) {
+    os << "(no data)\n";
+    return;
+  }
+
+  // Each series gets a glyph; cells hold the first series to claim them.
+  static constexpr char kGlyphs[] = "*o+x#@";
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    auto cdf = citymesh::geo::empirical_cdf(series[si].values);
+    for (const auto& pt : cdf) {
+      const int col = std::min<int>(width - 1, static_cast<int>(pt.value / x_max * (width - 1)));
+      const int row = std::min<int>(height - 1,
+                                    static_cast<int>((1.0 - pt.fraction) * (height - 1)));
+      if (canvas[row][col] == ' ') canvas[row][col] = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    }
+  }
+  os << "1.0 +" << std::string(width, '-') << "+\n";
+  for (int r = 0; r < height; ++r) {
+    os << "    |" << canvas[r] << "|\n";
+  }
+  os << "0.0 +" << std::string(width, '-') << "+\n";
+  os << "    0" << std::setw(width + 1) << fmt(x_max, 0) << "  (" << x_label << ")\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    auto sorted = series[si].values;
+    os << "    " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << ' ' << series[si].label
+       << "  (n=" << series[si].values.size()
+       << ", median=" << fmt(citymesh::geo::median(std::move(sorted)), 1) << ")\n";
+  }
+}
+
+void print_whiskers(std::ostream& os, const std::string& title,
+                    const std::vector<WhiskerRow>& rows, const std::string& x_label,
+                    int width) {
+  os << "\n== " << title << " ==\n";
+  double x_max = 0.0;
+  for (const auto& r : rows) x_max = std::max(x_max, r.q100);
+  if (x_max <= 0.0) {
+    os << "(no data)\n";
+    return;
+  }
+  const auto col_of = [&](double v) {
+    return std::min<int>(width - 1, static_cast<int>(v / x_max * (width - 1)));
+  };
+  std::size_t label_w = 0;
+  for (const auto& r : rows) label_w = std::max(label_w, r.label.size());
+  for (const auto& r : rows) {
+    std::string bar(width, ' ');
+    const int c10 = col_of(r.q10), c25 = col_of(r.q25), c50 = col_of(r.q50);
+    const int c75 = col_of(r.q75), c100 = col_of(r.q100);
+    for (int c = c10; c <= c100; ++c) bar[c] = '-';
+    for (int c = c25; c <= c75; ++c) bar[c] = '=';
+    bar[c50] = '|';
+    os << std::left << std::setw(static_cast<int>(label_w)) << r.label << " [" << bar
+       << "]  p50=" << fmt(r.q50, 1) << " max=" << fmt(r.q100, 0) << " n=" << r.count
+       << '\n';
+  }
+  os << std::setw(static_cast<int>(label_w)) << ' ' << " 0" << std::setw(width)
+     << fmt(x_max, 0) << "  (" << x_label << ")\n";
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  os << "\n== " << title << " ==\n";
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]))
+         << (c < row.size() ? row[c] : "") << " | ";
+    }
+    os << '\n';
+  };
+  print_row(header);
+  os << '|';
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace citymesh::viz

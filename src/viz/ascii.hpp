@@ -1,0 +1,42 @@
+// Terminal renderings of the paper's figures: CDF curves (Figure 1), whisker
+// bars (Figure 2), and aligned tables (Table 1, Figure 6). Benchmarks print
+// these so the reproduction is inspectable without a display.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace citymesh::viz {
+
+/// One labeled series of raw samples for the CDF plot.
+struct CdfSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Render empirical CDFs of several series on a shared x axis.
+void print_cdf(std::ostream& os, const std::string& title,
+               const std::vector<CdfSeries>& series, const std::string& x_label,
+               int width = 72, int height = 16);
+
+/// A whisker row: label plus the 10/25/50/75/100% quantiles (Figure 2 style).
+struct WhiskerRow {
+  std::string label;
+  double q10 = 0, q25 = 0, q50 = 0, q75 = 0, q100 = 0;
+  std::size_t count = 0;
+};
+
+void print_whiskers(std::ostream& os, const std::string& title,
+                    const std::vector<WhiskerRow>& rows, const std::string& x_label,
+                    int width = 64);
+
+/// Simple aligned table. `rows[i]` must have the same arity as `header`.
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Format helper: fixed-precision double.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace citymesh::viz

@@ -1,0 +1,94 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace citymesh::viz {
+
+SvgScene::SvgScene(geo::Rect world, double pixel_width)
+    : world_(world),
+      scale_(pixel_width / std::max(world.width(), 1e-9)),
+      width_px_(pixel_width),
+      height_px_(world.height() * scale_) {}
+
+geo::Point SvgScene::to_pixels(geo::Point world) const {
+  return {(world.x - world_.min.x) * scale_,
+          height_px_ - (world.y - world_.min.y) * scale_};
+}
+
+void SvgScene::add_polygon(const geo::Polygon& poly, const std::string& fill,
+                           const std::string& stroke, double stroke_width,
+                           double opacity) {
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (const geo::Point v : poly.vertices()) {
+    const geo::Point p = to_pixels(v);
+    os << p.x << ',' << p.y << ' ';
+  }
+  os << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\" stroke-width=\""
+     << stroke_width << "\" opacity=\"" << opacity << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgScene::add_circle(geo::Point center, double radius_px, const std::string& fill,
+                          double opacity) {
+  const geo::Point p = to_pixels(center);
+  std::ostringstream os;
+  os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius_px
+     << "\" fill=\"" << fill << "\" opacity=\"" << opacity << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgScene::add_line(geo::Point a, geo::Point b, const std::string& stroke,
+                        double width_px, double opacity) {
+  const geo::Point pa = to_pixels(a);
+  const geo::Point pb = to_pixels(b);
+  std::ostringstream os;
+  os << "<line x1=\"" << pa.x << "\" y1=\"" << pa.y << "\" x2=\"" << pb.x << "\" y2=\""
+     << pb.y << "\" stroke=\"" << stroke << "\" stroke-width=\"" << width_px
+     << "\" opacity=\"" << opacity << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgScene::add_polyline(const std::vector<geo::Point>& points, const std::string& stroke,
+                            double width_px, double opacity) {
+  if (points.size() < 2) return;
+  std::ostringstream os;
+  os << "<polyline points=\"";
+  for (const geo::Point v : points) {
+    const geo::Point p = to_pixels(v);
+    os << p.x << ',' << p.y << ' ';
+  }
+  os << "\" fill=\"none\" stroke=\"" << stroke << "\" stroke-width=\"" << width_px
+     << "\" opacity=\"" << opacity << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgScene::add_text(geo::Point at, const std::string& text, double size_px,
+                        const std::string& fill) {
+  const geo::Point p = to_pixels(at);
+  std::ostringstream os;
+  os << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" font-size=\"" << size_px
+     << "\" font-family=\"sans-serif\" fill=\"" << fill << "\">" << text << "</text>";
+  elements_.push_back(os.str());
+}
+
+void SvgScene::write(std::ostream& os) const {
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_
+     << "\" height=\"" << height_px_ << "\" viewBox=\"0 0 " << width_px_ << ' '
+     << height_px_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& e : elements_) os << e << '\n';
+  os << "</svg>\n";
+}
+
+bool SvgScene::write_file(const std::string& path) const {
+  std::ofstream file{path};
+  if (!file) return false;
+  write(file);
+  return static_cast<bool>(file);
+}
+
+}  // namespace citymesh::viz

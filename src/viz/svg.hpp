@@ -1,0 +1,48 @@
+// Minimal SVG scene writer for the rendered figures (5 and 7).
+//
+// Geometry is supplied in the city's meter frame; the writer flips the y
+// axis (SVG y grows downward) and scales to the requested pixel width.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace citymesh::viz {
+
+class SvgScene {
+ public:
+  /// `world` is the visible region in meters; `pixel_width` sets the scale.
+  SvgScene(geo::Rect world, double pixel_width = 1000.0);
+
+  void add_polygon(const geo::Polygon& poly, const std::string& fill,
+                   const std::string& stroke = "none", double stroke_width = 0.0,
+                   double opacity = 1.0);
+  void add_circle(geo::Point center, double radius_px, const std::string& fill,
+                  double opacity = 1.0);
+  void add_line(geo::Point a, geo::Point b, const std::string& stroke,
+                double width_px = 1.0, double opacity = 1.0);
+  void add_polyline(const std::vector<geo::Point>& points, const std::string& stroke,
+                    double width_px = 2.0, double opacity = 1.0);
+  void add_text(geo::Point at, const std::string& text, double size_px = 14.0,
+                const std::string& fill = "#222222");
+
+  /// Serialize the scene as a complete SVG document.
+  void write(std::ostream& os) const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  geo::Point to_pixels(geo::Point world) const;
+
+  geo::Rect world_;
+  double scale_;
+  double width_px_;
+  double height_px_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace citymesh::viz

@@ -1,0 +1,73 @@
+#include "wire/bitio.hpp"
+
+namespace citymesh::wire {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned bits) {
+  if (bits > 64) throw std::invalid_argument{"BitWriter::write_bits: bits > 64"};
+  for (unsigned i = bits; i-- > 0;) {
+    const bool bit = (value >> i) & 1;
+    const std::size_t byte_index = bit_count_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
+    ++bit_count_;
+  }
+}
+
+std::uint64_t BitReader::read_bits(unsigned bits) {
+  if (bits > 64) throw DecodeError{"BitReader::read_bits: bits > 64"};
+  if (cursor_ + bits > data_.size() * 8) {
+    throw DecodeError{"BitReader: read past end of buffer"};
+  }
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::size_t byte_index = cursor_ / 8;
+    const bool bit = (data_[byte_index] >> (7 - cursor_ % 8)) & 1;
+    value = (value << 1) | (bit ? 1u : 0u);
+    ++cursor_;
+  }
+  return value;
+}
+
+void write_uvarint(BitWriter& w, std::uint64_t value) {
+  // Groups of 4 bits, LSB group first, each prefixed by a continuation bit.
+  do {
+    const std::uint64_t group = value & 0xF;
+    value >>= 4;
+    w.write_bit(value != 0);
+    w.write_bits(group, 4);
+  } while (value != 0);
+}
+
+std::uint64_t read_uvarint(BitReader& r) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  bool more = true;
+  while (more) {
+    if (shift >= 64) throw DecodeError{"read_uvarint: value too long"};
+    more = r.read_bit();
+    const std::uint64_t group = r.read_bits(4);
+    value |= group << shift;
+    shift += 4;
+  }
+  return value;
+}
+
+unsigned uvarint_bits(std::uint64_t value) {
+  unsigned groups = 1;
+  value >>= 4;
+  while (value != 0) {
+    ++groups;
+    value >>= 4;
+  }
+  return groups * 5;
+}
+
+void write_svarint(BitWriter& w, std::int64_t value) {
+  write_uvarint(w, zigzag_encode(value));
+}
+
+std::int64_t read_svarint(BitReader& r) {
+  return zigzag_decode(read_uvarint(r));
+}
+
+}  // namespace citymesh::wire

@@ -1,0 +1,81 @@
+// Bit-granular serialization.
+//
+// The paper reports the compressed source-route header in *bits* (median 175,
+// 90th percentile 225), so the codec must be bit-granular rather than
+// byte-granular. BitWriter/BitReader pack MSB-first into a byte vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace citymesh::wire {
+
+/// Error thrown when a reader runs past the end of its buffer or a decoded
+/// value violates the format.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BitWriter {
+ public:
+  /// Append the low `bits` bits of `value`, most-significant bit first.
+  /// Requires 0 <= bits <= 64.
+  void write_bits(std::uint64_t value, unsigned bits);
+
+  void write_bit(bool b) { write_bits(b ? 1 : 0, 1); }
+
+  /// Bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Finished buffer; the final partial byte (if any) is zero-padded.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `bits` bits MSB-first. Throws DecodeError past the end.
+  std::uint64_t read_bits(unsigned bits);
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  std::size_t bits_consumed() const { return cursor_; }
+  std::size_t bits_remaining() const { return data_.size() * 8 - cursor_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t cursor_ = 0;  // bit offset
+};
+
+// ---- Variable-length integer codes -------------------------------------
+
+/// Nibble-chunk varint: the value is emitted in 4-bit groups, least
+/// significant group first, each preceded by a continuation bit (1 = more
+/// groups follow). Small values — the common case for delta-coded building
+/// ids — cost 5 bits; a 32-bit value costs at most 40 bits.
+void write_uvarint(BitWriter& w, std::uint64_t value);
+std::uint64_t read_uvarint(BitReader& r);
+
+/// Bits write_uvarint would emit for `value` (for header-size accounting).
+unsigned uvarint_bits(std::uint64_t value);
+
+/// Zig-zag mapping so small negative deltas stay small.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void write_svarint(BitWriter& w, std::int64_t value);
+std::int64_t read_svarint(BitReader& r);
+
+}  // namespace citymesh::wire

@@ -1,0 +1,104 @@
+#include "wire/packet.hpp"
+
+#include <cmath>
+
+namespace citymesh::wire {
+
+namespace {
+
+constexpr unsigned kVersionBits = 3;
+constexpr unsigned kFlagBits = 5;
+constexpr unsigned kWidthBits = 4;
+
+std::uint8_t width_code(double width_m) {
+  if (width_m == 50.0) return 0;  // default gets the short code
+  const double code = width_m / 10.0;
+  const double rounded = std::round(code);
+  if (rounded < 1.0 || rounded > 15.0 || std::abs(code - rounded) > 1e-9) {
+    throw std::invalid_argument{
+        "PacketHeader: conduit width must be a multiple of 10 in [10, 150] m"};
+  }
+  return static_cast<std::uint8_t>(rounded);
+}
+
+double width_from_code(std::uint8_t code) {
+  return code == 0 ? 50.0 : code * 10.0;
+}
+
+}  // namespace
+
+EncodedHeader encode_header(const PacketHeader& h) {
+  BitWriter w;
+  w.write_bits(h.version, kVersionBits);
+  w.write_bits(h.flags, kFlagBits);
+  w.write_bits(width_code(h.conduit_width_m), kWidthBits);
+  w.write_bits(h.message_id, 32);
+  w.write_bits(h.postbox_tag, 32);
+  write_uvarint(w, h.waypoints.size());
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < h.waypoints.size(); ++i) {
+    const auto id = static_cast<std::int64_t>(h.waypoints[i]);
+    if (i == 0) {
+      write_uvarint(w, static_cast<std::uint64_t>(id));
+    } else {
+      write_svarint(w, id - prev);
+    }
+    prev = id;
+  }
+  if (h.has_flag(PacketFlag::kBroadcast)) {
+    write_uvarint(w, h.broadcast_radius_m);
+  }
+  return {w.bytes(), w.bit_count()};
+}
+
+PacketHeader decode_header(std::span<const std::uint8_t> bytes) {
+  BitReader r{bytes};
+  PacketHeader h;
+  h.version = static_cast<std::uint8_t>(r.read_bits(kVersionBits));
+  if (h.version != kHeaderVersion) {
+    throw DecodeError{"PacketHeader: unsupported version"};
+  }
+  h.flags = static_cast<std::uint8_t>(r.read_bits(kFlagBits));
+  h.conduit_width_m = width_from_code(static_cast<std::uint8_t>(r.read_bits(kWidthBits)));
+  h.message_id = static_cast<std::uint32_t>(r.read_bits(32));
+  h.postbox_tag = static_cast<std::uint32_t>(r.read_bits(32));
+  const std::uint64_t count = read_uvarint(r);
+  if (count > 4096) throw DecodeError{"PacketHeader: implausible waypoint count"};
+  h.waypoints.reserve(count);
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t id;
+    if (i == 0) {
+      id = static_cast<std::int64_t>(read_uvarint(r));
+    } else {
+      id = prev + read_svarint(r);
+    }
+    if (id < 0 || id > UINT32_MAX) throw DecodeError{"PacketHeader: building id out of range"};
+    h.waypoints.push_back(static_cast<BuildingId>(id));
+    prev = id;
+  }
+  if (h.has_flag(PacketFlag::kBroadcast)) {
+    const std::uint64_t radius = read_uvarint(r);
+    if (radius > 100'000) throw DecodeError{"PacketHeader: implausible broadcast radius"};
+    h.broadcast_radius_m = static_cast<std::uint32_t>(radius);
+  }
+  return h;
+}
+
+std::size_t header_bits(const PacketHeader& h) {
+  std::size_t bits = kVersionBits + kFlagBits + kWidthBits + 32 + 32;
+  bits += uvarint_bits(h.waypoints.size());
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < h.waypoints.size(); ++i) {
+    const auto id = static_cast<std::int64_t>(h.waypoints[i]);
+    bits += i == 0 ? uvarint_bits(static_cast<std::uint64_t>(id))
+                   : uvarint_bits(zigzag_encode(id - prev));
+    prev = id;
+  }
+  if (h.has_flag(PacketFlag::kBroadcast)) {
+    bits += uvarint_bits(h.broadcast_radius_m);
+  }
+  return bits;
+}
+
+}  // namespace citymesh::wire

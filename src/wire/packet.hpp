@@ -1,0 +1,84 @@
+// CityMesh packet header codec.
+//
+// The header is everything an AP needs to make its rebroadcast decision
+// (§3 step 3): the compressed building route (waypoint building ids), the
+// conduit width, and a duplicate-suppression message id. The destination
+// postbox is identified by a short tag derived from the recipient's
+// self-certifying id; the full 256-bit id travels in the payload and is
+// verified by the postbox itself.
+//
+// Encoding layout (bit-granular, see bitio.hpp):
+//   version        3 bits
+//   flags          5 bits
+//   width_code     4 bits   (conduit width = width_code * 10 m; 0 = 50 m)
+//   message_id    32 bits
+//   postbox_tag   32 bits
+//   waypoint count     uvarint
+//   waypoint[0]        uvarint  (absolute building id)
+//   waypoint[i>0]      svarint  (delta from previous id)
+//
+// Building ids are assigned in spatial generation order, so deltas between
+// consecutive waypoints of a geographically coherent route are small and the
+// zig-zag nibble varint keeps the route cheap — this is where the paper's
+// ~175-bit median header comes from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wire/bitio.hpp"
+
+namespace citymesh::wire {
+
+using BuildingId = std::uint32_t;
+
+/// Header flag bits.
+enum class PacketFlag : std::uint8_t {
+  kUrgent = 1u << 0,          ///< postbox should push immediately
+  kAck = 1u << 1,             ///< delivery acknowledgment traveling back
+  kLocationUpdate = 1u << 2,  ///< device -> postbox location refresh
+  kBroadcast = 1u << 3,       ///< geo-broadcast around the last waypoint
+  kAckRequest = 1u << 4,      ///< destination should send an ack back
+};
+
+constexpr std::uint8_t kHeaderVersion = 1;
+
+struct PacketHeader {
+  std::uint8_t version = kHeaderVersion;
+  std::uint8_t flags = 0;
+  /// Conduit width W in meters. Must be a positive multiple of 10 up to 150.
+  double conduit_width_m = 50.0;
+  /// Random id for duplicate suppression at rebroadcasting APs.
+  std::uint32_t message_id = 0;
+  /// Truncated self-certifying id of the destination postbox.
+  std::uint32_t postbox_tag = 0;
+  /// Compressed route: waypoint building ids, source first.
+  std::vector<BuildingId> waypoints;
+  /// Geo-broadcast radius around the last waypoint's centroid, whole meters.
+  /// Encoded (as a uvarint after the waypoints) only when kBroadcast is set.
+  std::uint32_t broadcast_radius_m = 0;
+
+  bool has_flag(PacketFlag f) const {
+    return (flags & static_cast<std::uint8_t>(f)) != 0;
+  }
+  void set_flag(PacketFlag f) { flags |= static_cast<std::uint8_t>(f); }
+
+  bool operator==(const PacketHeader&) const = default;
+};
+
+/// Serialize the header; returns the byte buffer and exact bit length.
+struct EncodedHeader {
+  std::vector<std::uint8_t> bytes;
+  std::size_t bit_count = 0;
+};
+
+EncodedHeader encode_header(const PacketHeader& h);
+
+/// Parse a header. Throws DecodeError on truncation, bad version, or an
+/// out-of-range width code.
+PacketHeader decode_header(std::span<const std::uint8_t> bytes);
+
+/// Exact encoded size in bits without materializing the buffer.
+std::size_t header_bits(const PacketHeader& h);
+
+}  // namespace citymesh::wire

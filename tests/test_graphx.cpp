@@ -1,0 +1,317 @@
+// Tests for the graph substrate: CSR construction, Dijkstra (validated
+// against the Bellman-Ford oracle on random graphs), BFS, connected
+// components, and union-find.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/rng.hpp"
+#include "graphx/graph.hpp"
+#include "graphx/shortest_path.hpp"
+
+namespace graphx = citymesh::graphx;
+using citymesh::geo::Rng;
+
+namespace {
+
+graphx::Graph line_graph(std::size_t n) {
+  graphx::GraphBuilder b{n};
+  for (graphx::VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, 1.0);
+  return b.build();
+}
+
+graphx::Graph random_graph(std::uint64_t seed, std::size_t n, double edge_prob,
+                           double max_weight = 10.0) {
+  Rng rng{seed};
+  graphx::GraphBuilder b{n};
+  for (graphx::VertexId i = 0; i < n; ++i) {
+    for (graphx::VertexId j = i + 1; j < n; ++j) {
+      if (rng.chance(edge_prob)) b.add_edge(i, j, rng.uniform(0.1, max_weight));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Graph ---
+
+TEST(Graph, EmptyGraph) {
+  const graphx::Graph g = graphx::GraphBuilder{0}.build();
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, BuilderCounts) {
+  graphx::GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2, 5.0);
+  b.add_edge(2, 3);
+  EXPECT_EQ(b.vertex_count(), 4u);
+  EXPECT_EQ(b.edge_count(), 3u);
+  const graphx::Graph g = b.build();
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(Graph, UndirectedAdjacency) {
+  graphx::GraphBuilder b{3};
+  b.add_edge(0, 2, 7.0);
+  const graphx::Graph g = b.build();
+  ASSERT_EQ(g.degree(0), 1u);
+  ASSERT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 2u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 7.0);
+  EXPECT_EQ(g.neighbors(2)[0].to, 0u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, SelfLoopsIgnored) {
+  graphx::GraphBuilder b{2};
+  b.add_edge(1, 1);
+  EXPECT_EQ(b.edge_count(), 0u);
+}
+
+TEST(Graph, OutOfRangeVertexThrows) {
+  graphx::GraphBuilder b{2};
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Graph, ParallelEdgesPreserved) {
+  graphx::GraphBuilder b{2};
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(0, 1, 2.0);
+  const graphx::Graph g = b.build();
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+// ------------------------------------------------------------- Dijkstra ---
+
+TEST(Dijkstra, LineGraphDistances) {
+  const auto g = line_graph(5);
+  const auto sp = graphx::dijkstra(g, 0);
+  for (graphx::VertexId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(sp.distance[v], static_cast<double>(v));
+  }
+  const auto path = sp.path_to(4);
+  EXPECT_EQ(path, (std::vector<graphx::VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Dijkstra, UnreachableVertex) {
+  graphx::GraphBuilder b{3};
+  b.add_edge(0, 1, 1.0);
+  const auto sp = graphx::dijkstra(b.build(), 0);
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_TRUE(sp.path_to(2).empty());
+}
+
+TEST(Dijkstra, PrefersLighterLongerPath) {
+  graphx::GraphBuilder b{4};
+  b.add_edge(0, 3, 10.0);  // direct but heavy
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 1.0);
+  const auto sp = graphx::dijkstra(b.build(), 0, 3);
+  EXPECT_DOUBLE_EQ(sp.distance[3], 3.0);
+  EXPECT_EQ(sp.path_to(3).size(), 4u);
+}
+
+TEST(Dijkstra, EarlyTargetStopStillCorrect) {
+  const auto g = random_graph(3, 100, 0.1);
+  const auto full = graphx::dijkstra(g, 0);
+  const auto targeted = graphx::dijkstra(g, 0, 42);
+  if (full.reachable(42)) {
+    EXPECT_DOUBLE_EQ(full.distance[42], targeted.distance[42]);
+  }
+}
+
+TEST(Dijkstra, NegativeWeightThrows) {
+  graphx::GraphBuilder b{2};
+  b.add_edge(0, 1, -1.0);
+  EXPECT_THROW(graphx::dijkstra(b.build(), 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, SourceIsItsOwnParent) {
+  const auto g = line_graph(3);
+  const auto sp = graphx::dijkstra(g, 1);
+  EXPECT_EQ(sp.parent[1], 1u);
+  EXPECT_DOUBLE_EQ(sp.distance[1], 0.0);
+  EXPECT_EQ(sp.path_to(1), (std::vector<graphx::VertexId>{1}));
+}
+
+// Property: Dijkstra agrees with the Bellman-Ford oracle on random graphs.
+class DijkstraOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraOracle, MatchesBellmanFord) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto g = random_graph(seed, 60, 0.08);
+  const auto d = graphx::dijkstra(g, 0);
+  const auto bf = graphx::bellman_ford(g, 0);
+  for (graphx::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (bf.reachable(v)) {
+      EXPECT_NEAR(d.distance[v], bf.distance[v], 1e-9) << "vertex " << v;
+    } else {
+      EXPECT_FALSE(d.reachable(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DijkstraOracle, ::testing::Range(0, 15));
+
+// Property: path_to reconstructs a path whose edge weights sum to distance.
+class PathReconstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathReconstruction, PathWeightEqualsDistance) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 100;
+  const auto g = random_graph(seed, 50, 0.1);
+  const auto sp = graphx::dijkstra(g, 0);
+  for (graphx::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!sp.reachable(v)) continue;
+    const auto path = sp.path_to(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), v);
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // Find the lightest edge between consecutive path vertices.
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& e : g.neighbors(path[i])) {
+        if (e.to == path[i + 1]) best = std::min(best, e.weight);
+      }
+      ASSERT_TRUE(std::isfinite(best)) << "path uses a non-edge";
+      total += best;
+    }
+    EXPECT_NEAR(total, sp.distance[v], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PathReconstruction, ::testing::Range(0, 10));
+
+// ------------------------------------------------------------------ BFS ---
+
+TEST(Bfs, HopCounts) {
+  const auto g = line_graph(6);
+  const auto sp = graphx::bfs(g, 2);
+  EXPECT_DOUBLE_EQ(sp.distance[0], 2.0);
+  EXPECT_DOUBLE_EQ(sp.distance[5], 3.0);
+}
+
+TEST(Bfs, IgnoresWeights) {
+  graphx::GraphBuilder b{3};
+  b.add_edge(0, 1, 100.0);
+  b.add_edge(1, 2, 100.0);
+  b.add_edge(0, 2, 0.001);
+  const auto sp = graphx::bfs(b.build(), 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 1.0);  // one hop regardless of weight
+}
+
+TEST(Bfs, DisconnectedComponentsUnreachable) {
+  graphx::GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto sp = graphx::bfs(b.build(), 0);
+  EXPECT_TRUE(sp.reachable(1));
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_FALSE(sp.reachable(3));
+}
+
+// ----------------------------------------------------------- Components ---
+
+TEST(Components, CountsAndMembership) {
+  graphx::GraphBuilder b{6};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const auto comps = graphx::connected_components(b.build());
+  EXPECT_EQ(comps.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comps.component_of[0], comps.component_of[2]);
+  EXPECT_EQ(comps.component_of[3], comps.component_of[4]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[3]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[5]);
+
+  auto sizes = comps.sizes();
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(comps.sizes()[comps.largest()], 3u);
+}
+
+TEST(Components, FullyConnected) {
+  const auto comps = graphx::connected_components(line_graph(10));
+  EXPECT_EQ(comps.count, 1u);
+}
+
+TEST(Components, EmptyGraph) {
+  const auto comps = graphx::connected_components(graphx::GraphBuilder{0}.build());
+  EXPECT_EQ(comps.count, 0u);
+}
+
+// Property: components agree with union-find over the same edges.
+class ComponentsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComponentsOracle, MatchesUnionFind) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 50;
+  Rng rng{seed};
+  const std::size_t n = 80;
+  graphx::GraphBuilder b{n};
+  graphx::UnionFind uf{n};
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<graphx::VertexId>(rng.uniform_int(n));
+    const auto v = static_cast<graphx::VertexId>(rng.uniform_int(n));
+    if (u == v) continue;
+    b.add_edge(u, v);
+    uf.unite(u, v);
+  }
+  const auto comps = graphx::connected_components(b.build());
+  EXPECT_EQ(comps.count, uf.set_count());
+  for (graphx::VertexId u = 0; u < n; ++u) {
+    for (graphx::VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(comps.component_of[u] == comps.component_of[v], uf.connected(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ComponentsOracle, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------ UnionFind ---
+
+TEST(UnionFind, BasicMerge) {
+  graphx::UnionFind uf{5};
+  EXPECT_EQ(uf.set_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 4u);
+  EXPECT_EQ(uf.size_of(0), 2u);
+  EXPECT_EQ(uf.size_of(1), 2u);
+  EXPECT_EQ(uf.size_of(4), 1u);
+}
+
+TEST(UnionFind, TransitiveMerges) {
+  graphx::UnionFind uf{6};
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.size_of(3), 4u);
+  EXPECT_EQ(uf.set_count(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+// --------------------------------------------------------- Bellman-Ford ---
+
+TEST(BellmanFord, SimplePath) {
+  const auto g = line_graph(4);
+  const auto sp = graphx::bellman_ford(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[3], 3.0);
+}
+
+TEST(BellmanFord, NegativeCycleThrows) {
+  graphx::GraphBuilder b{2};
+  b.add_edge(0, 1, -1.0);  // undirected negative edge = negative cycle
+  EXPECT_THROW(graphx::bellman_ford(b.build(), 0), std::invalid_argument);
+}

@@ -1,0 +1,240 @@
+// Tests for the wardriving-survey reproduction (§2): beacon placement,
+// trajectory sampling, and the Table-1 / Figure-1 / Figure-2 statistics.
+#include <gtest/gtest.h>
+
+#include "geo/stats.hpp"
+#include "measure/survey.hpp"
+#include "measure/survey_stats.hpp"
+#include "osmx/citygen.hpp"
+
+namespace measure = citymesh::measure;
+namespace osmx = citymesh::osmx;
+namespace geo = citymesh::geo;
+
+namespace {
+
+const osmx::City& boston() {
+  static const osmx::City city = osmx::generate_city(osmx::profile_by_name("boston"));
+  return city;
+}
+
+measure::SurveyConfig small_survey() {
+  measure::SurveyConfig cfg;
+  // Shrink sample targets so the suite stays fast; distributions still form.
+  for (auto& [area, params] : cfg.areas) {
+    params.target_samples = std::min<std::size_t>(params.target_samples, 220);
+  }
+  return cfg;
+}
+
+const std::vector<measure::SurveyDataset>& datasets() {
+  static const auto data = measure::run_survey(boston(), small_survey());
+  return data;
+}
+
+const measure::SurveyDataset* dataset_of(osmx::AreaType t) {
+  for (const auto& d : datasets()) {
+    if (d.area == t) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Beacons, PlacedAtConfiguredDensity) {
+  const auto pop = measure::place_beacons(boston(), small_survey());
+  const double expected = boston().total_building_area() / 35.0;
+  EXPECT_NEAR(static_cast<double>(pop.positions.size()), expected, expected * 0.05);
+  EXPECT_EQ(pop.positions.size(), pop.visibility_m.size());
+  EXPECT_EQ(pop.positions.size(), pop.area.size());
+}
+
+TEST(Beacons, VisibilityFollowsAreaProfile) {
+  const auto cfg = small_survey();
+  const auto pop = measure::place_beacons(boston(), cfg);
+  std::vector<double> campus, river;
+  for (std::size_t i = 0; i < pop.positions.size(); ++i) {
+    if (pop.area[i] == osmx::AreaType::kCampus) campus.push_back(pop.visibility_m[i]);
+    if (pop.area[i] == osmx::AreaType::kRiver) river.push_back(pop.visibility_m[i]);
+  }
+  ASSERT_GT(campus.size(), 50u);
+  ASSERT_GT(river.size(), 50u);
+  // River radios see much farther than campus radios (paper: 84 m vs 27 m).
+  EXPECT_GT(geo::median(river), 1.8 * geo::median(campus));
+}
+
+TEST(Survey, ProducesAllFourDatasets) {
+  bool have[4] = {false, false, false, false};
+  for (const auto& d : datasets()) {
+    if (d.area == osmx::AreaType::kDowntown) have[0] = true;
+    if (d.area == osmx::AreaType::kCampus) have[1] = true;
+    if (d.area == osmx::AreaType::kResidential) have[2] = true;
+    if (d.area == osmx::AreaType::kRiver) have[3] = true;
+  }
+  EXPECT_TRUE(have[0] && have[1] && have[2] && have[3]);
+}
+
+TEST(Survey, SampleCountsMatchTargets) {
+  const auto cfg = small_survey();
+  for (const auto& d : datasets()) {
+    const auto it = cfg.areas.find(d.area);
+    ASSERT_NE(it, cfg.areas.end());
+    EXPECT_EQ(d.measurement_count(), it->second.target_samples) << d.name;
+  }
+}
+
+TEST(Survey, MeasurementsAreOrderedInTime) {
+  for (const auto& d : datasets()) {
+    for (std::size_t i = 1; i < d.measurements.size(); ++i) {
+      EXPECT_GT(d.measurements[i].time_s, d.measurements[i - 1].time_s);
+    }
+  }
+}
+
+TEST(Survey, VisibleListsSortedUnique) {
+  for (const auto& d : datasets()) {
+    for (const auto& m : d.measurements) {
+      for (std::size_t i = 1; i < m.visible.size(); ++i) {
+        EXPECT_LT(m.visible[i - 1], m.visible[i]);
+      }
+    }
+  }
+}
+
+TEST(Survey, DowntownDenserThanRiver) {
+  const auto* downtown = dataset_of(osmx::AreaType::kDowntown);
+  const auto* river = dataset_of(osmx::AreaType::kRiver);
+  ASSERT_TRUE(downtown && river);
+  const double downtown_median = geo::median(measure::macs_per_measurement(*downtown));
+  const double river_median = geo::median(measure::macs_per_measurement(*river));
+  // Paper: 218 vs 60 medians; require at least a 2x gap in the same direction.
+  EXPECT_GT(downtown_median, 2.0 * river_median);
+  EXPECT_GT(river_median, 5.0);  // but the riverbank is not empty
+}
+
+TEST(Survey, SpreadLargerOnRiverThanCampus) {
+  const auto* campus = dataset_of(osmx::AreaType::kCampus);
+  const auto* river = dataset_of(osmx::AreaType::kRiver);
+  ASSERT_TRUE(campus && river);
+  const double campus_spread = geo::median(measure::spread_per_ap(*campus));
+  const double river_spread = geo::median(measure::spread_per_ap(*river));
+  // Paper: 54 m vs 168 m medians.
+  EXPECT_GT(river_spread, 1.5 * campus_spread);
+  EXPECT_GT(campus_spread, 10.0);
+}
+
+TEST(Survey, MergedDatasetSumsMeasurements) {
+  const auto all = measure::merge_datasets(datasets());
+  std::size_t total = 0;
+  for (const auto& d : datasets()) total += d.measurement_count();
+  EXPECT_EQ(all.measurement_count(), total);
+  EXPECT_EQ(all.name, "all");
+}
+
+TEST(Survey, UniqueApsAreSubadditive) {
+  const auto all = measure::merge_datasets(datasets());
+  std::size_t sum = 0;
+  for (const auto& d : datasets()) sum += d.unique_aps();
+  EXPECT_LE(all.unique_aps(), sum);  // overlapping areas share radios
+  EXPECT_GT(all.unique_aps(), 0u);
+}
+
+TEST(Survey, Deterministic) {
+  const auto a = measure::run_survey(boston(), small_survey());
+  const auto b = measure::run_survey(boston(), small_survey());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].measurement_count(), b[i].measurement_count());
+    EXPECT_EQ(a[i].measurements[0].visible, b[i].measurements[0].visible);
+  }
+}
+
+// ---------------------------------------------------------------- Stats ---
+
+TEST(SurveyStats, CommonCount) {
+  using V = std::vector<measure::BeaconId>;
+  EXPECT_EQ(measure::common_count(V{1, 2, 3}, V{2, 3, 4}), 2u);
+  EXPECT_EQ(measure::common_count(V{}, V{1}), 0u);
+  EXPECT_EQ(measure::common_count(V{5, 7}, V{5, 7}), 2u);
+  EXPECT_EQ(measure::common_count(V{1, 3, 5}, V{2, 4, 6}), 0u);
+}
+
+TEST(SurveyStats, MacsPerMeasurementShape) {
+  const auto* d = dataset_of(osmx::AreaType::kDowntown);
+  ASSERT_TRUE(d);
+  const auto values = measure::macs_per_measurement(*d);
+  EXPECT_EQ(values.size(), d->measurement_count());
+  for (const double v : values) EXPECT_GE(v, 0.0);
+}
+
+TEST(SurveyStats, SpreadBoundedByTwiceVisibilityRadius) {
+  // An AP can only be heard within its visibility radius, so its sighting
+  // cloud has diameter <= 2 * radius + GPS jitter. The population placement
+  // is deterministic in the config, so ids here align with the survey's.
+  const auto cfg = small_survey();
+  const auto pop = measure::place_beacons(boston(), cfg);
+  const auto* d = dataset_of(osmx::AreaType::kCampus);
+  ASSERT_TRUE(d);
+  // Recompute per-AP sighting clouds with ids to compare against radii.
+  std::unordered_map<measure::BeaconId, std::vector<geo::Point>> sightings;
+  for (const auto& m : d->measurements) {
+    for (const auto id : m.visible) sightings[id].push_back(m.location);
+  }
+  ASSERT_FALSE(sightings.empty());
+  constexpr double kJitterAllowance = 40.0;  // two 3-sigma GPS tails + slack
+  for (const auto& [id, locations] : sightings) {
+    const double spread = geo::max_pairwise_distance(locations);
+    EXPECT_LE(spread, 2.0 * pop.visibility_m.at(id) + kJitterAllowance)
+        << "beacon " << id;
+  }
+}
+
+TEST(SurveyStats, CommonApsDecreaseWithDistance) {
+  const auto* d = dataset_of(osmx::AreaType::kDowntown);
+  ASSERT_TRUE(d);
+  measure::CommonApConfig cfg;
+  cfg.bin_width_m = 50.0;
+  cfg.max_distance_m = 400.0;
+  const auto bins = measure::common_ap_bins(*d, cfg);
+  ASSERT_EQ(bins.size(), 8u);
+  ASSERT_GT(bins[0].pair_count, 0u);
+  // Nearby pairs share many APs; distant pairs share few. Compare the first
+  // and last non-empty bins' medians.
+  const auto* last = &bins[0];
+  for (const auto& b : bins) {
+    if (b.pair_count > 10) last = &b;
+  }
+  EXPECT_GT(bins[0].q50, last->q50);
+  // Quantiles are ordered within each bin.
+  for (const auto& b : bins) {
+    EXPECT_LE(b.q10, b.q25);
+    EXPECT_LE(b.q25, b.q50);
+    EXPECT_LE(b.q50, b.q75);
+    EXPECT_LE(b.q75, b.q100);
+  }
+}
+
+TEST(SurveyStats, PairSamplingCapRespected) {
+  const auto* d = dataset_of(osmx::AreaType::kDowntown);
+  ASSERT_TRUE(d);
+  measure::CommonApConfig cfg;
+  cfg.max_pairs = 500;  // force the sampling path
+  const auto bins = measure::common_ap_bins(*d, cfg);
+  std::size_t total = 0;
+  for (const auto& b : bins) total += b.pair_count;
+  EXPECT_LE(total, 500u);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(SurveyStats, BinBoundariesTile) {
+  const auto* d = dataset_of(osmx::AreaType::kCampus);
+  ASSERT_TRUE(d);
+  measure::CommonApConfig cfg;
+  cfg.bin_width_m = 100.0;
+  cfg.max_distance_m = 300.0;
+  const auto bins = measure::common_ap_bins(*d, cfg);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0].lo_m, 0.0);
+  EXPECT_DOUBLE_EQ(bins[0].hi_m, 100.0);
+  EXPECT_DOUBLE_EQ(bins[2].hi_m, 300.0);
+}

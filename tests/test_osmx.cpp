@@ -1,0 +1,286 @@
+// Tests for the geospatial input layer: the City container, the OSM-XML
+// reader, and the synthetic city generator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "osmx/building.hpp"
+#include "osmx/citygen.hpp"
+#include "osmx/osm_xml.hpp"
+
+namespace osmx = citymesh::osmx;
+namespace geo = citymesh::geo;
+
+// ----------------------------------------------------------------- City ---
+
+TEST(City, AddBuildingAssignsDenseIds) {
+  osmx::City city{"t", {{0, 0}, {100, 100}}};
+  const auto a = city.add_building(geo::Polygon::rectangle({{0, 0}, {10, 10}}));
+  const auto b = city.add_building(geo::Polygon::rectangle({{20, 0}, {30, 10}}));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(city.building_count(), 2u);
+  EXPECT_EQ(city.building(1).id, 1u);
+}
+
+TEST(City, AddBuildingCachesCentroid) {
+  osmx::City city{"t", {{0, 0}, {100, 100}}};
+  city.add_building(geo::Polygon::rectangle({{0, 0}, {10, 20}}));
+  EXPECT_NEAR(city.building(0).centroid.x, 5.0, 1e-9);
+  EXPECT_NEAR(city.building(0).centroid.y, 10.0, 1e-9);
+}
+
+TEST(City, RejectsDegenerateFootprint) {
+  osmx::City city{"t", {{0, 0}, {100, 100}}};
+  EXPECT_THROW(city.add_building(geo::Polygon{}), std::invalid_argument);
+}
+
+TEST(City, WaterLookup) {
+  osmx::City city{"t", {{0, 0}, {100, 100}}};
+  city.add_water(geo::Polygon::rectangle({{40, 0}, {60, 100}}));
+  EXPECT_TRUE(city.in_water({50, 50}));
+  EXPECT_FALSE(city.in_water({10, 50}));
+}
+
+TEST(City, RegionPrecedence) {
+  osmx::City city{"t", {{0, 0}, {100, 100}}};
+  city.add_region({"campus", osmx::AreaType::kCampus, {{0, 0}, {50, 50}}});
+  city.add_region({"residential", osmx::AreaType::kResidential, {{0, 0}, {100, 100}}});
+  EXPECT_EQ(city.area_at({25, 25}), osmx::AreaType::kCampus);
+  EXPECT_EQ(city.area_at({75, 75}), osmx::AreaType::kResidential);
+  EXPECT_EQ(city.area_at({200, 200}), osmx::AreaType::kOther);
+}
+
+TEST(City, TotalBuildingArea) {
+  osmx::City city{"t", {{0, 0}, {100, 100}}};
+  city.add_building(geo::Polygon::rectangle({{0, 0}, {10, 10}}));
+  city.add_building(geo::Polygon::rectangle({{20, 0}, {25, 10}}));
+  EXPECT_DOUBLE_EQ(city.total_building_area(), 150.0);
+}
+
+TEST(AreaType, Names) {
+  EXPECT_EQ(osmx::to_string(osmx::AreaType::kDowntown), "downtown");
+  EXPECT_EQ(osmx::to_string(osmx::AreaType::kRiver), "river");
+}
+
+// -------------------------------------------------------------- OSM XML ---
+
+namespace {
+
+constexpr std::string_view kSampleOsm = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <!-- a square building -->
+  <node id="1" lat="42.3600" lon="-71.0900"/>
+  <node id="2" lat="42.3601" lon="-71.0900"/>
+  <node id="3" lat="42.3601" lon="-71.0899"/>
+  <node id="4" lat="42.3600" lon="-71.0899"/>
+  <node id="5" lat="42.3605" lon="-71.0905"/>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <nd ref="4"/>
+    <nd ref="1"/>
+    <tag k="building" v="residential"/>
+  </way>
+  <way id="101">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="5"/>
+    <nd ref="1"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>)";
+
+}  // namespace
+
+TEST(OsmXml, ParsesBuildingWays) {
+  const auto city = osmx::load_osm_xml_string(kSampleOsm, "sample");
+  EXPECT_EQ(city.name(), "sample");
+  ASSERT_EQ(city.building_count(), 1u);  // the highway way is not a building
+  // ~11 m x ~8 m footprint at this latitude.
+  const double area = city.building(0).area_m2();
+  EXPECT_GT(area, 50.0);
+  EXPECT_LT(area, 150.0);
+}
+
+TEST(OsmXml, StreamOverload) {
+  std::istringstream stream{std::string{kSampleOsm}};
+  const auto city = osmx::load_osm_xml(stream);
+  EXPECT_EQ(city.building_count(), 1u);
+}
+
+TEST(OsmXml, IgnoresUnclosedRings) {
+  constexpr std::string_view osm = R"(
+<osm>
+  <node id="1" lat="1.0" lon="1.0"/>
+  <node id="2" lat="1.0001" lon="1.0"/>
+  <node id="3" lat="1.0001" lon="1.0001"/>
+  <way id="7">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="building" v="yes"/>
+  </way>
+</osm>)";
+  EXPECT_EQ(osmx::load_osm_xml_string(osm).building_count(), 0u);
+}
+
+TEST(OsmXml, SkipsDanglingNodeRefs) {
+  constexpr std::string_view osm = R"(
+<osm>
+  <node id="1" lat="1.0" lon="1.0"/>
+  <node id="2" lat="1.0001" lon="1.0"/>
+  <way id="7">
+    <nd ref="1"/><nd ref="2"/><nd ref="99"/><nd ref="1"/>
+    <tag k="building" v="yes"/>
+  </way>
+</osm>)";
+  EXPECT_EQ(osmx::load_osm_xml_string(osm).building_count(), 0u);
+}
+
+TEST(OsmXml, SingleQuotedAttributes) {
+  constexpr std::string_view osm = R"(
+<osm>
+  <node id='1' lat='1.0' lon='1.0'/>
+  <node id='2' lat='1.0002' lon='1.0'/>
+  <node id='3' lat='1.0002' lon='1.0002'/>
+  <node id='4' lat='1.0' lon='1.0002'/>
+  <way id='7'>
+    <nd ref='1'/><nd ref='2'/><nd ref='3'/><nd ref='4'/><nd ref='1'/>
+    <tag k='building' v='yes'/>
+  </way>
+</osm>)";
+  EXPECT_EQ(osmx::load_osm_xml_string(osm).building_count(), 1u);
+}
+
+TEST(OsmXml, MissingAttributeThrows) {
+  constexpr std::string_view osm = R"(<osm><node id="1" lat="1.0"/></osm>)";
+  EXPECT_THROW(osmx::load_osm_xml_string(osm), osmx::OsmParseError);
+}
+
+TEST(OsmXml, BadNumberThrows) {
+  constexpr std::string_view osm =
+      R"(<osm><node id="1" lat="not-a-number" lon="1"/></osm>)";
+  EXPECT_THROW(osmx::load_osm_xml_string(osm), osmx::OsmParseError);
+}
+
+TEST(OsmXml, EmptyDocument) {
+  EXPECT_EQ(osmx::load_osm_xml_string("").building_count(), 0u);
+  EXPECT_EQ(osmx::load_osm_xml_string("<osm></osm>").building_count(), 0u);
+}
+
+// -------------------------------------------------------------- Citygen ---
+
+TEST(Citygen, DeterministicForProfile) {
+  const auto profile = osmx::profile_by_name("boston");
+  const auto a = osmx::generate_city(profile);
+  const auto b = osmx::generate_city(profile);
+  ASSERT_EQ(a.building_count(), b.building_count());
+  for (std::size_t i = 0; i < a.building_count(); i += 97) {
+    EXPECT_EQ(a.building(i).centroid, b.building(i).centroid);
+  }
+}
+
+TEST(Citygen, ProducesReasonableCity) {
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  EXPECT_GT(city.building_count(), 2000u);   // a real city-scale footprint set
+  EXPECT_LT(city.building_count(), 100000u);
+  // Coverage fraction should be urban: 20-60% of land.
+  const double coverage = city.total_building_area() / city.extent().area();
+  EXPECT_GT(coverage, 0.15);
+  EXPECT_LT(coverage, 0.65);
+}
+
+TEST(Citygen, BuildingsInsideExtentAndOutOfWater) {
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  for (const auto& b : city.buildings()) {
+    EXPECT_TRUE(city.extent().contains(b.centroid));
+    EXPECT_FALSE(city.in_water(b.centroid));
+  }
+}
+
+TEST(Citygen, RiverCreatesWaterBand) {
+  const auto city = osmx::generate_city(osmx::profile_by_name("washington_dc"));
+  ASSERT_FALSE(city.water().empty());
+  // The DC profile's vertical river at 38% of the width.
+  const double river_x = city.extent().min.x + 0.38 * city.extent().width();
+  EXPECT_TRUE(city.in_water({river_x, city.extent().center().y}));
+}
+
+TEST(Citygen, IdsAreSpatiallyCoherent) {
+  // Row-major emission: consecutive ids should usually be near each other.
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 1; i < city.building_count(); ++i) {
+    total += geo::distance(city.building(i - 1).centroid, city.building(i).centroid);
+    ++count;
+  }
+  // Mean consecutive-id distance far below the city diameter.
+  EXPECT_LT(total / count, 200.0);
+}
+
+TEST(Citygen, DowntownBuildingsAreLarger) {
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  double downtown_area = 0.0, downtown_n = 0.0, res_area = 0.0, res_n = 0.0;
+  for (const auto& b : city.buildings()) {
+    if (b.area == osmx::AreaType::kDowntown) {
+      downtown_area += b.area_m2();
+      ++downtown_n;
+    } else if (b.area == osmx::AreaType::kResidential) {
+      res_area += b.area_m2();
+      ++res_n;
+    }
+  }
+  ASSERT_GT(downtown_n, 50.0);
+  ASSERT_GT(res_n, 50.0);
+  EXPECT_GT(downtown_area / downtown_n, 1.5 * (res_area / res_n));
+}
+
+TEST(Citygen, RegionsCoverSurveyAreas) {
+  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  bool has_campus = false, has_river = false, has_downtown = false, has_res = false;
+  for (const auto& r : city.regions()) {
+    has_campus |= r.type == osmx::AreaType::kCampus;
+    has_river |= r.type == osmx::AreaType::kRiver;
+    has_downtown |= r.type == osmx::AreaType::kDowntown;
+    has_res |= r.type == osmx::AreaType::kResidential;
+  }
+  EXPECT_TRUE(has_campus);
+  EXPECT_TRUE(has_river);
+  EXPECT_TRUE(has_downtown);
+  EXPECT_TRUE(has_res);
+}
+
+TEST(Citygen, DefaultProfilesAreTenDistinctCities) {
+  const auto profiles = osmx::default_profiles();
+  EXPECT_EQ(profiles.size(), 10u);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      EXPECT_NE(profiles[i].name, profiles[j].name);
+    }
+  }
+}
+
+TEST(Citygen, UnknownProfileThrows) {
+  EXPECT_THROW(osmx::profile_by_name("atlantis"), std::out_of_range);
+}
+
+TEST(Citygen, InvalidExtentThrows) {
+  osmx::CityProfile p;
+  p.width_m = -1;
+  EXPECT_THROW(osmx::generate_city(p), std::invalid_argument);
+}
+
+class CitygenAllProfiles : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CitygenAllProfiles, GeneratesNonTrivialCity) {
+  const auto city = osmx::generate_city(osmx::profile_by_name(GetParam()));
+  EXPECT_GT(city.building_count(), 1000u) << GetParam();
+  EXPECT_EQ(city.name(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, CitygenAllProfiles,
+    ::testing::Values("boston", "cambridge", "washington_dc", "new_york",
+                      "san_francisco", "chicago", "seattle", "austin", "miami",
+                      "minneapolis"));

@@ -1,0 +1,275 @@
+// Tests for the baseline routing strategies (flood, greedy geographic,
+// AODV-style reactive discovery).
+#include <gtest/gtest.h>
+
+#include "geo/rng.hpp"
+#include "graphx/shortest_path.hpp"
+#include "routing/baselines.hpp"
+
+namespace routing = citymesh::routing;
+namespace graphx = citymesh::graphx;
+namespace geo = citymesh::geo;
+
+namespace {
+
+struct GridWorld {
+  graphx::Graph graph;
+  std::vector<geo::Point> positions;
+};
+
+/// k x k grid of nodes 10 m apart, 4-connected.
+GridWorld grid_world(std::size_t k) {
+  GridWorld w;
+  graphx::GraphBuilder b{k * k};
+  w.positions.resize(k * k);
+  const auto id = [k](std::size_t x, std::size_t y) {
+    return static_cast<graphx::VertexId>(y * k + x);
+  };
+  for (std::size_t y = 0; y < k; ++y) {
+    for (std::size_t x = 0; x < k; ++x) {
+      w.positions[id(x, y)] = {static_cast<double>(x) * 10.0,
+                               static_cast<double>(y) * 10.0};
+      if (x + 1 < k) b.add_edge(id(x, y), id(x + 1, y), 10.0);
+      if (y + 1 < k) b.add_edge(id(x, y), id(x, y + 1), 10.0);
+    }
+  }
+  w.graph = b.build();
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Flood ---
+
+TEST(Flood, DeliversWithinTtl) {
+  const auto w = grid_world(5);
+  const auto r = routing::flood_route(w.graph, 0, 24, /*ttl=*/8);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path_hops, 8u);  // Manhattan distance in the grid
+}
+
+TEST(Flood, TtlTooSmallFails) {
+  const auto w = grid_world(5);
+  const auto r = routing::flood_route(w.graph, 0, 24, /*ttl=*/7);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(Flood, TransmissionCountIsEntireReachedRegion) {
+  const auto w = grid_world(5);
+  const auto r = routing::flood_route(w.graph, 0, 24, /*ttl=*/8);
+  // Flooding transmits from every node reached before TTL exhaustion: in a
+  // 5x5 grid with ttl 8 that is all 25 nodes minus those at depth 8 (just
+  // the far corner).
+  EXPECT_EQ(r.data_transmissions, 24u);
+}
+
+TEST(Flood, SourceEqualsDestination) {
+  const auto w = grid_world(3);
+  const auto r = routing::flood_route(w.graph, 4, 4, 5);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.data_transmissions, 0u);
+}
+
+TEST(Flood, DisconnectedFails) {
+  graphx::GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto r = routing::flood_route(b.build(), 0, 3, 100);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(Flood, ZeroTtlOnlySourceTransmits) {
+  const auto w = grid_world(3);
+  const auto r = routing::flood_route(w.graph, 0, 8, 0);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.data_transmissions, 1u);
+}
+
+// --------------------------------------------------------------- Greedy ---
+
+TEST(Greedy, DeliversOnConvexTopology) {
+  const auto w = grid_world(6);
+  const auto r = routing::greedy_geo_route(w.graph, w.positions, 0, 35);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path_hops, 10u);  // Manhattan-optimal in a grid
+  EXPECT_EQ(r.data_transmissions, r.path_hops);
+}
+
+TEST(Greedy, FailsAtLocalMinimum) {
+  // A "U" dead end: progress toward the target requires moving away first.
+  //     0 --- 1
+  //            .
+  //             2   (target 3 is near 1 geographically but only reachable
+  //  3 ---------'    via the long way around through 2)
+  graphx::GraphBuilder b{4};
+  std::vector<geo::Point> pos{{0, 10}, {20, 10}, {25, 0}, {0, 0}};
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 1.0);
+  // From 0, target 3: neighbor 1 is at distance 22.4 from 3, while 0 is at
+  // distance 10 -> no neighbor improves, greedy gives up immediately.
+  const auto r = routing::greedy_geo_route(b.build(), pos, 0, 3);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.data_transmissions, 0u);
+}
+
+TEST(Greedy, SourceIsDestination) {
+  const auto w = grid_world(4);
+  const auto r = routing::greedy_geo_route(w.graph, w.positions, 5, 5);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path_hops, 0u);
+}
+
+TEST(Greedy, HopBudgetExhaustion) {
+  const auto w = grid_world(6);
+  const auto r = routing::greedy_geo_route(w.graph, w.positions, 0, 35, /*max_hops=*/3);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.path_hops, 3u);
+}
+
+TEST(Greedy, MuchCheaperThanFlood) {
+  const auto w = grid_world(10);
+  const auto g = routing::greedy_geo_route(w.graph, w.positions, 0, 99);
+  const auto f = routing::flood_route(w.graph, 0, 99, 18);
+  ASSERT_TRUE(g.delivered);
+  ASSERT_TRUE(f.delivered);
+  EXPECT_LT(g.data_transmissions * 3, f.data_transmissions);
+}
+
+// ----------------------------------------------------------------- AODV ---
+
+TEST(Aodv, DeliversAndCountsControl) {
+  const auto w = grid_world(5);
+  const auto r = routing::aodv_route(w.graph, 0, 24);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path_hops, 8u);
+  EXPECT_EQ(r.data_transmissions, 8u);
+  // RREQ floods most of the grid + RREP returns over 8 hops.
+  EXPECT_GT(r.control_transmissions, 8u);
+}
+
+TEST(Aodv, ControlOverheadScalesWithNetworkSize) {
+  const auto small = grid_world(5);
+  const auto large = grid_world(15);
+  const auto rs = routing::aodv_route(small.graph, 0, 24);
+  // Same relative corner-to-corner route in the larger network.
+  const auto rl = routing::aodv_route(large.graph, 0, 15 * 15 - 1);
+  ASSERT_TRUE(rs.delivered);
+  ASSERT_TRUE(rl.delivered);
+  // The RREQ burst grows superlinearly in node count: this is the paper's
+  // §5 argument against reactive protocols at city scale.
+  EXPECT_GT(rl.control_transmissions, 5 * rs.control_transmissions);
+}
+
+TEST(Aodv, UnreachableFloodsWholeComponent) {
+  graphx::GraphBuilder b{5};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const auto r = routing::aodv_route(b.build(), 0, 4);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.control_transmissions, 3u);  // the {0,1,2} component
+  EXPECT_EQ(r.data_transmissions, 0u);
+}
+
+TEST(Aodv, SourceIsDestination) {
+  const auto w = grid_world(3);
+  const auto r = routing::aodv_route(w.graph, 2, 2);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.control_transmissions, 0u);
+}
+
+// Property: on random connected graphs, AODV always delivers and its data
+// path length equals the BFS distance.
+class AodvProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AodvProperty, DataPathIsShortest) {
+  geo::Rng rng{static_cast<std::uint64_t>(GetParam()) + 7};
+  const std::size_t n = 40;
+  graphx::GraphBuilder b{n};
+  // Ring for connectivity + random chords.
+  for (graphx::VertexId v = 0; v < n; ++v) {
+    b.add_edge(v, (v + 1) % n, 1.0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const auto u = static_cast<graphx::VertexId>(rng.uniform_int(n));
+    const auto v = static_cast<graphx::VertexId>(rng.uniform_int(n));
+    if (u != v) b.add_edge(u, v, 1.0);
+  }
+  const auto g = b.build();
+  const auto src = static_cast<graphx::VertexId>(rng.uniform_int(n));
+  const auto dst = static_cast<graphx::VertexId>(rng.uniform_int(n));
+  const auto r = routing::aodv_route(g, src, dst);
+  EXPECT_TRUE(r.delivered);
+  const auto sp = citymesh::graphx::bfs(g, src, dst);
+  EXPECT_EQ(r.path_hops, static_cast<std::size_t>(sp.distance[dst]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AodvProperty, ::testing::Range(0, 10));
+
+// ------------------------------------------------------- Control models ---
+
+#include "routing/control_overhead.hpp"
+
+namespace {
+
+graphx::Graph clique(std::size_t n) {
+  graphx::GraphBuilder b{n};
+  for (graphx::VertexId i = 0; i < n; ++i) {
+    for (graphx::VertexId j = i + 1; j < n; ++j) b.add_edge(i, j, 1.0);
+  }
+  return b.build();
+}
+
+}  // namespace
+
+TEST(ControlOverhead, ProactiveQuadraticOnConnectedMesh) {
+  // A connected mesh of n nodes floods n updates of cost n each per round:
+  // exactly n^2 * rounds_per_hour.
+  routing::ProactiveParams p;
+  p.update_interval_s = 3600.0;  // one round per hour for easy arithmetic
+  const auto small = routing::proactive_control_load(clique(10), p);
+  const auto large = routing::proactive_control_load(clique(30), p);
+  EXPECT_DOUBLE_EQ(small.control_tx_per_hour, 100.0);
+  EXPECT_DOUBLE_EQ(large.control_tx_per_hour, 900.0);  // 9x for 3x nodes
+  EXPECT_DOUBLE_EQ(small.per_node_state_entries, 10.0);
+}
+
+TEST(ControlOverhead, ProactiveRespectsComponents) {
+  // Two disconnected cliques of 10: each update floods only its component.
+  graphx::GraphBuilder b{20};
+  for (graphx::VertexId i = 0; i < 10; ++i) {
+    for (graphx::VertexId j = i + 1; j < 10; ++j) {
+      b.add_edge(i, j, 1.0);
+      b.add_edge(i + 10, j + 10, 1.0);
+    }
+  }
+  routing::ProactiveParams p;
+  p.update_interval_s = 3600.0;
+  const auto load = routing::proactive_control_load(b.build(), p);
+  EXPECT_DOUBLE_EQ(load.control_tx_per_hour, 200.0);  // 2 * 10^2, not 20^2
+}
+
+TEST(ControlOverhead, ReactiveScalesWithSessionRate) {
+  routing::ReactiveParams slow;
+  slow.discoveries_per_node_per_hour = 1.0;
+  routing::ReactiveParams busy;
+  busy.discoveries_per_node_per_hour = 10.0;
+  const auto g = clique(20);
+  const auto a = routing::reactive_control_load(g, slow);
+  const auto b = routing::reactive_control_load(g, busy);
+  EXPECT_DOUBLE_EQ(b.control_tx_per_hour, 10.0 * a.control_tx_per_hour);
+  EXPECT_DOUBLE_EQ(a.control_tx_per_hour, 20.0 * 20.0);  // n discoveries x n flood
+}
+
+TEST(ControlOverhead, CityMeshIsControlFree) {
+  const auto load = routing::citymesh_control_load(5000);
+  EXPECT_DOUBLE_EQ(load.control_tx_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ(load.per_node_state_entries, 5000.0);
+}
+
+TEST(ControlOverhead, EmptyMesh) {
+  const auto g = graphx::GraphBuilder{0}.build();
+  EXPECT_DOUBLE_EQ(routing::proactive_control_load(g, {}).control_tx_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ(routing::reactive_control_load(g, {}).control_tx_per_hour, 0.0);
+}

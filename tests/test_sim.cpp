@@ -1,0 +1,221 @@
+// Tests for the discrete-event engine and the broadcast medium.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graphx/graph.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace sim = citymesh::sim;
+namespace graphx = citymesh::graphx;
+
+// ------------------------------------------------------------ Simulator ---
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  EXPECT_EQ(s.events_processed(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  sim::Simulator s;
+  std::vector<std::string> log;
+  s.schedule_at(1.0, [&] {
+    log.push_back("a");
+    s.schedule_in(0.5, [&] { log.push_back("b"); });
+  });
+  s.schedule_at(2.0, [&] { log.push_back("c"); });
+  s.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  sim::Simulator s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, UntilBoundsExecution) {
+  sim::Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&] { ++count; });
+  }
+  const auto ran = s.run(5.5);
+  EXPECT_EQ(ran, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.pending(), 5u);
+  s.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, MaxEventsBoundsExecution) {
+  sim::Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&] { ++count; });
+  }
+  s.run(sim::kForever, 3);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Simulator, SelfPerpetuatingChainStopsAtUntil) {
+  sim::Simulator s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.schedule_in(1.0, tick);
+  };
+  s.schedule_at(0.0, tick);
+  s.run(100.5);
+  EXPECT_EQ(ticks, 101);  // t = 0..100
+}
+
+TEST(Simulator, EmptyRunAdvancesToUntil) {
+  sim::Simulator s;
+  s.run(42.0);
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+// --------------------------------------------------------------- Medium ---
+
+namespace {
+
+/// A line topology: 0 - 1 - 2 - ... with 10 m links.
+graphx::Graph line_topology(std::size_t n) {
+  graphx::GraphBuilder b{n};
+  for (graphx::VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, 10.0);
+  return b.build();
+}
+
+struct TestPacket {
+  int value = 0;
+};
+
+}  // namespace
+
+TEST(Medium, DeliversToAllNeighbors) {
+  sim::Simulator s;
+  const auto topo = line_topology(3);
+  sim::BroadcastMedium<TestPacket> medium{s, topo, {}};
+  std::vector<sim::NodeId> receivers;
+  medium.set_delivery_handler(
+      [&](sim::NodeId to, sim::NodeId from, const std::shared_ptr<const TestPacket>& p) {
+        EXPECT_EQ(from, 1u);
+        EXPECT_EQ(p->value, 42);
+        receivers.push_back(to);
+      });
+  medium.transmit(1, std::make_shared<const TestPacket>(TestPacket{42}));
+  s.run();
+  std::sort(receivers.begin(), receivers.end());
+  EXPECT_EQ(receivers, (std::vector<sim::NodeId>{0, 2}));
+  EXPECT_EQ(medium.transmissions(), 1u);
+  EXPECT_EQ(medium.deliveries(), 2u);
+}
+
+TEST(Medium, DeliveryIsDelayed) {
+  sim::Simulator s;
+  const auto topo = line_topology(2);
+  sim::MediumConfig cfg;
+  cfg.tx_delay_s = 0.25;
+  cfg.jitter_s = 0.0;
+  sim::BroadcastMedium<TestPacket> medium{s, topo, cfg};
+  double delivered_at = -1.0;
+  medium.set_delivery_handler(
+      [&](sim::NodeId, sim::NodeId, const std::shared_ptr<const TestPacket>&) {
+        delivered_at = s.now();
+      });
+  medium.transmit(0, std::make_shared<const TestPacket>());
+  s.run();
+  EXPECT_NEAR(delivered_at, 0.25, 1e-6);  // prop delay over 10 m is negligible
+}
+
+TEST(Medium, LossDropsDeliveries) {
+  sim::Simulator s;
+  // Star topology: center 0 with 200 leaves.
+  graphx::GraphBuilder b{201};
+  for (graphx::VertexId v = 1; v <= 200; ++v) b.add_edge(0, v, 10.0);
+  const auto topo = b.build();
+  sim::MediumConfig cfg;
+  cfg.loss_probability = 0.5;
+  sim::BroadcastMedium<TestPacket> medium{s, topo, cfg};
+  std::size_t received = 0;
+  medium.set_delivery_handler(
+      [&](sim::NodeId, sim::NodeId, const std::shared_ptr<const TestPacket>&) {
+        ++received;
+      });
+  medium.transmit(0, std::make_shared<const TestPacket>());
+  s.run();
+  EXPECT_EQ(received + medium.losses(), 200u);
+  EXPECT_NEAR(static_cast<double>(received), 100.0, 30.0);
+}
+
+TEST(Medium, LossZeroAndOne) {
+  sim::Simulator s;
+  const auto topo = line_topology(2);
+  sim::MediumConfig lossy;
+  lossy.loss_probability = 1.0;
+  sim::BroadcastMedium<TestPacket> medium{s, topo, lossy};
+  std::size_t received = 0;
+  medium.set_delivery_handler(
+      [&](sim::NodeId, sim::NodeId, const std::shared_ptr<const TestPacket>&) {
+        ++received;
+      });
+  medium.transmit(0, std::make_shared<const TestPacket>());
+  s.run();
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(medium.losses(), 1u);
+}
+
+TEST(Medium, CountersResettable) {
+  sim::Simulator s;
+  const auto topo = line_topology(2);
+  sim::BroadcastMedium<TestPacket> medium{s, topo, {}};
+  medium.transmit(0, std::make_shared<const TestPacket>());
+  s.run();
+  EXPECT_EQ(medium.transmissions(), 1u);
+  medium.reset_counters();
+  EXPECT_EQ(medium.transmissions(), 0u);
+  EXPECT_EQ(medium.deliveries(), 0u);
+}
+
+TEST(Medium, FloodOverLineReachesEnd) {
+  // A relay protocol on the medium: every first-time receiver retransmits.
+  sim::Simulator s;
+  const std::size_t n = 50;
+  const auto topo = line_topology(n);
+  sim::BroadcastMedium<TestPacket> medium{s, topo, {}};
+  std::vector<bool> seen(n, false);
+  medium.set_delivery_handler(
+      [&](sim::NodeId to, sim::NodeId, const std::shared_ptr<const TestPacket>& p) {
+        if (seen[to]) return;
+        seen[to] = true;
+        medium.transmit(to, p);
+      });
+  seen[0] = true;
+  medium.transmit(0, std::make_shared<const TestPacket>());
+  s.run();
+  EXPECT_TRUE(seen[n - 1]);
+  EXPECT_EQ(medium.transmissions(), n);  // everyone transmits exactly once
+}

@@ -1,0 +1,144 @@
+// Tests for the SVG writer and the ASCII figure renderers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "viz/ascii.hpp"
+#include "viz/svg.hpp"
+
+namespace viz = citymesh::viz;
+namespace geo = citymesh::geo;
+
+// ------------------------------------------------------------------ SVG ---
+
+TEST(Svg, EmptySceneIsValidDocument) {
+  viz::SvgScene scene{{{0, 0}, {100, 50}}, 200.0};
+  std::ostringstream os;
+  scene.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("<?xml"), std::string::npos);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("width=\"200\""), std::string::npos);
+  EXPECT_NE(doc.find("height=\"100\""), std::string::npos);  // aspect preserved
+}
+
+TEST(Svg, ElementsAppearInDocument) {
+  viz::SvgScene scene{{{0, 0}, {100, 100}}};
+  scene.add_polygon(geo::Polygon::rectangle({{10, 10}, {20, 20}}), "#ff0000");
+  scene.add_circle({50, 50}, 3.0, "blue", 0.5);
+  scene.add_line({0, 0}, {100, 100}, "gray", 1.5);
+  scene.add_polyline({{0, 0}, {10, 10}, {20, 0}}, "green");
+  scene.add_text({5, 95}, "label");
+  std::ostringstream os;
+  scene.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+  EXPECT_NE(doc.find(">label</text>"), std::string::npos);
+  EXPECT_NE(doc.find("#ff0000"), std::string::npos);
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  viz::SvgScene scene{{{0, 0}, {100, 100}}, 100.0};
+  scene.add_circle({0, 0}, 1.0, "black");    // world origin -> bottom-left
+  scene.add_circle({0, 100}, 1.0, "black");  // top of world -> y=0 in pixels
+  std::ostringstream os;
+  scene.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("cy=\"100\""), std::string::npos);
+  EXPECT_NE(doc.find("cy=\"0\""), std::string::npos);
+}
+
+TEST(Svg, ShortPolylineIgnored) {
+  viz::SvgScene scene{{{0, 0}, {10, 10}}};
+  scene.add_polyline({{1, 1}}, "red");
+  std::ostringstream os;
+  scene.write(os);
+  EXPECT_EQ(os.str().find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, WriteFile) {
+  viz::SvgScene scene{{{0, 0}, {10, 10}}};
+  scene.add_circle({5, 5}, 2.0, "red");
+  const std::string path = "test_viz_output.svg";
+  ASSERT_TRUE(scene.write_file(path));
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("<circle"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(Svg, WriteFileFailsOnBadPath) {
+  viz::SvgScene scene{{{0, 0}, {10, 10}}};
+  EXPECT_FALSE(scene.write_file("/nonexistent-dir-xyz/file.svg"));
+}
+
+// ---------------------------------------------------------------- ASCII ---
+
+TEST(Ascii, FmtPrecision) {
+  EXPECT_EQ(viz::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(viz::fmt(3.14159, 0), "3");
+  EXPECT_EQ(viz::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Ascii, CdfRendersSeriesAndMedians) {
+  std::ostringstream os;
+  viz::print_cdf(os, "Test CDF",
+                 {{"alpha", {1, 2, 3, 4, 5}}, {"beta", {10, 20, 30}}}, "units");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Test CDF"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("median=3.0"), std::string::npos);
+  EXPECT_NE(out.find("median=20.0"), std::string::npos);
+  EXPECT_NE(out.find("(units)"), std::string::npos);
+}
+
+TEST(Ascii, CdfHandlesEmptyData) {
+  std::ostringstream os;
+  viz::print_cdf(os, "Empty", {{"nothing", {}}}, "x");
+  EXPECT_NE(os.str().find("(no data)"), std::string::npos);
+}
+
+TEST(Ascii, WhiskersRenderRows) {
+  std::ostringstream os;
+  viz::print_whiskers(os, "Whiskers",
+                      {{"0-50", 1, 2, 5, 9, 20, 100}, {"50-100", 0, 1, 2, 4, 9, 50}},
+                      "count");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Whiskers"), std::string::npos);
+  EXPECT_NE(out.find("0-50"), std::string::npos);
+  EXPECT_NE(out.find("p50=5.0"), std::string::npos);
+  EXPECT_NE(out.find("n=100"), std::string::npos);
+}
+
+TEST(Ascii, WhiskersHandleEmpty) {
+  std::ostringstream os;
+  viz::print_whiskers(os, "None", {}, "x");
+  EXPECT_NE(os.str().find("(no data)"), std::string::npos);
+}
+
+TEST(Ascii, TableAlignsColumns) {
+  std::ostringstream os;
+  viz::print_table(os, "T", {"city", "reach"},
+                   {{"boston", "0.99"}, {"washington_dc", "0.61"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("city"), std::string::npos);
+  EXPECT_NE(out.find("washington_dc"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Ascii, TableToleratesShortRows) {
+  std::ostringstream os;
+  viz::print_table(os, "T", {"a", "b", "c"}, {{"only-one"}});
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}

@@ -1,0 +1,325 @@
+// Tests for bit-level serialization and the CityMesh packet-header codec,
+// including round-trip property sweeps and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include "geo/rng.hpp"
+#include "wire/bitio.hpp"
+#include "wire/packet.hpp"
+
+namespace wire = citymesh::wire;
+using citymesh::geo::Rng;
+
+// --------------------------------------------------------------- BitIO ----
+
+TEST(BitIo, WriteReadSingleBits) {
+  wire::BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  wire::BitReader r{w.bytes()};
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+}
+
+TEST(BitIo, MsbFirstLayout) {
+  wire::BitWriter w;
+  w.write_bits(0b101, 3);
+  // 101 padded -> 1010'0000.
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0xA0);
+}
+
+TEST(BitIo, CrossByteValues) {
+  wire::BitWriter w;
+  w.write_bits(0xABCD, 16);
+  w.write_bits(0x5, 3);
+  wire::BitReader r{w.bytes()};
+  EXPECT_EQ(r.read_bits(16), 0xABCDu);
+  EXPECT_EQ(r.read_bits(3), 0x5u);
+}
+
+TEST(BitIo, SixtyFourBitValue) {
+  wire::BitWriter w;
+  const std::uint64_t v = 0xDEADBEEFCAFEBABEull;
+  w.write_bits(v, 64);
+  wire::BitReader r{w.bytes()};
+  EXPECT_EQ(r.read_bits(64), v);
+}
+
+TEST(BitIo, ZeroBitWriteIsNoop) {
+  wire::BitWriter w;
+  w.write_bits(0xFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  wire::BitWriter w;
+  w.write_bits(0x3, 2);
+  wire::BitReader r{w.bytes()};
+  EXPECT_EQ(r.read_bits(2), 0x3u);
+  // The padded byte has 6 spare bits; reading 7 more overruns.
+  EXPECT_THROW(r.read_bits(7), wire::DecodeError);
+}
+
+TEST(BitIo, TooManyBitsThrows) {
+  wire::BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), std::invalid_argument);
+  w.write_bits(0, 8);
+  wire::BitReader r{w.bytes()};
+  EXPECT_THROW(r.read_bits(65), wire::DecodeError);
+}
+
+TEST(BitIo, BitsConsumedTracking) {
+  wire::BitWriter w;
+  w.write_bits(0, 13);
+  wire::BitReader r{w.bytes()};
+  r.read_bits(5);
+  EXPECT_EQ(r.bits_consumed(), 5u);
+  EXPECT_EQ(r.bits_remaining(), 11u);  // 2 bytes - 5 bits
+}
+
+// -------------------------------------------------------------- Varints ---
+
+TEST(Varint, SmallValuesCostFiveBits) {
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 15ull}) {
+    EXPECT_EQ(wire::uvarint_bits(v), 5u) << v;
+  }
+  EXPECT_EQ(wire::uvarint_bits(16), 10u);
+  EXPECT_EQ(wire::uvarint_bits(255), 10u);
+  EXPECT_EQ(wire::uvarint_bits(256), 15u);
+}
+
+TEST(Varint, RoundTripExplicit) {
+  const std::uint64_t cases[] = {0, 1, 15, 16, 255, 4096, 1'000'000, UINT64_MAX};
+  for (const std::uint64_t v : cases) {
+    wire::BitWriter w;
+    wire::write_uvarint(w, v);
+    EXPECT_EQ(w.bit_count(), wire::uvarint_bits(v));
+    wire::BitReader r{w.bytes()};
+    EXPECT_EQ(wire::read_uvarint(r), v);
+  }
+}
+
+TEST(Varint, ZigZagMapping) {
+  EXPECT_EQ(wire::zigzag_encode(0), 0u);
+  EXPECT_EQ(wire::zigzag_encode(-1), 1u);
+  EXPECT_EQ(wire::zigzag_encode(1), 2u);
+  EXPECT_EQ(wire::zigzag_encode(-2), 3u);
+  const std::int64_t signed_cases[] = {0, 1, -1, 100, -100, INT64_MAX, INT64_MIN};
+  for (const std::int64_t v : signed_cases) {
+    EXPECT_EQ(wire::zigzag_decode(wire::zigzag_encode(v)), v);
+  }
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintRoundTrip, RandomValues) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  wire::BitWriter w;
+  std::vector<std::uint64_t> unsigneds;
+  std::vector<std::int64_t> signeds;
+  for (int i = 0; i < 200; ++i) {
+    // Mix magnitudes so all group counts are exercised.
+    const int shift = static_cast<int>(rng.uniform_int(64));
+    const std::uint64_t u = rng.next() >> shift;
+    const auto s = static_cast<std::int64_t>(rng.next() >> shift) *
+                   (rng.chance(0.5) ? 1 : -1);
+    unsigneds.push_back(u);
+    signeds.push_back(s);
+    wire::write_uvarint(w, u);
+    wire::write_svarint(w, s);
+  }
+  wire::BitReader r{w.bytes()};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(wire::read_uvarint(r), unsigneds[i]);
+    EXPECT_EQ(wire::read_svarint(r), signeds[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintRoundTrip, ::testing::Range(0, 10));
+
+// --------------------------------------------------------- PacketHeader ---
+
+namespace {
+
+wire::PacketHeader sample_header() {
+  wire::PacketHeader h;
+  h.message_id = 0xCAFE1234;
+  h.postbox_tag = 0xDEAD5678;
+  h.conduit_width_m = 50.0;
+  h.waypoints = {1000, 1010, 1500, 1490, 2200};
+  return h;
+}
+
+}  // namespace
+
+TEST(PacketHeader, RoundTrip) {
+  const auto h = sample_header();
+  const auto enc = wire::encode_header(h);
+  const auto dec = wire::decode_header(enc.bytes);
+  EXPECT_EQ(dec, h);
+}
+
+TEST(PacketHeader, BitCountMatchesEncoder) {
+  const auto h = sample_header();
+  const auto enc = wire::encode_header(h);
+  EXPECT_EQ(enc.bit_count, wire::header_bits(h));
+}
+
+TEST(PacketHeader, FlagsRoundTrip) {
+  auto h = sample_header();
+  h.set_flag(wire::PacketFlag::kUrgent);
+  h.set_flag(wire::PacketFlag::kBroadcast);
+  const auto dec = wire::decode_header(wire::encode_header(h).bytes);
+  EXPECT_TRUE(dec.has_flag(wire::PacketFlag::kUrgent));
+  EXPECT_TRUE(dec.has_flag(wire::PacketFlag::kBroadcast));
+  EXPECT_FALSE(dec.has_flag(wire::PacketFlag::kAck));
+}
+
+TEST(PacketHeader, WidthCodes) {
+  for (double w : {10.0, 20.0, 50.0, 100.0, 150.0}) {
+    auto h = sample_header();
+    h.conduit_width_m = w;
+    const auto dec = wire::decode_header(wire::encode_header(h).bytes);
+    EXPECT_DOUBLE_EQ(dec.conduit_width_m, w);
+  }
+}
+
+TEST(PacketHeader, InvalidWidthThrowsOnEncode) {
+  auto h = sample_header();
+  h.conduit_width_m = 55.0;  // not a multiple of 10
+  EXPECT_THROW(wire::encode_header(h), std::invalid_argument);
+  h.conduit_width_m = 160.0;  // out of range
+  EXPECT_THROW(wire::encode_header(h), std::invalid_argument);
+  h.conduit_width_m = 0.0;
+  EXPECT_THROW(wire::encode_header(h), std::invalid_argument);
+}
+
+TEST(PacketHeader, EmptyWaypoints) {
+  wire::PacketHeader h;
+  h.message_id = 7;
+  const auto dec = wire::decode_header(wire::encode_header(h).bytes);
+  EXPECT_TRUE(dec.waypoints.empty());
+  EXPECT_EQ(dec.message_id, 7u);
+}
+
+TEST(PacketHeader, SingleWaypoint) {
+  wire::PacketHeader h;
+  h.waypoints = {123456};
+  const auto dec = wire::decode_header(wire::encode_header(h).bytes);
+  EXPECT_EQ(dec.waypoints, h.waypoints);
+}
+
+TEST(PacketHeader, TruncatedBufferThrows) {
+  const auto enc = wire::encode_header(sample_header());
+  for (std::size_t cut = 0; cut < enc.bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix{enc.bytes.begin(), enc.bytes.begin() + cut};
+    // Short prefixes must never decode to the full header (they either throw
+    // or, when only padding was cut, produce fewer waypoints).
+    if (cut < 10) {
+      EXPECT_THROW(wire::decode_header(prefix), wire::DecodeError) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(PacketHeader, BadVersionThrows) {
+  auto enc = wire::encode_header(sample_header());
+  enc.bytes[0] ^= 0x80;  // flip the top version bit
+  EXPECT_THROW(wire::decode_header(enc.bytes), wire::DecodeError);
+}
+
+TEST(PacketHeader, DeltaCodingBeatsAbsoluteForLocalRoutes) {
+  // Spatially coherent ids (small deltas) must encode smaller than scattered
+  // ids of similar magnitude.
+  wire::PacketHeader local;
+  local.waypoints = {50000, 50012, 50030, 50041, 50055, 50070};
+  wire::PacketHeader scattered;
+  scattered.waypoints = {50000, 3, 91234, 17, 88000, 421};
+  EXPECT_LT(wire::header_bits(local), wire::header_bits(scattered));
+}
+
+class HeaderRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeaderRoundTrip, RandomHeaders) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 5};
+  for (int trial = 0; trial < 50; ++trial) {
+    wire::PacketHeader h;
+    h.message_id = static_cast<std::uint32_t>(rng.next());
+    h.postbox_tag = static_cast<std::uint32_t>(rng.next());
+    h.flags = static_cast<std::uint8_t>(rng.uniform_int(32));
+    h.conduit_width_m = 10.0 * static_cast<double>(1 + rng.uniform_int(15));
+    const std::size_t n = rng.uniform_int(20);
+    std::uint32_t id = static_cast<std::uint32_t>(rng.uniform_int(100000));
+    for (std::size_t i = 0; i < n; ++i) {
+      h.waypoints.push_back(id);
+      // Random walk with occasional jumps, like real routes.
+      if (rng.chance(0.1)) {
+        id = static_cast<std::uint32_t>(rng.uniform_int(100000));
+      } else {
+        const auto step = static_cast<std::int64_t>(rng.uniform_int(41)) - 20;
+        id = static_cast<std::uint32_t>(
+            std::max<std::int64_t>(0, static_cast<std::int64_t>(id) + step));
+      }
+    }
+    const auto enc = wire::encode_header(h);
+    EXPECT_EQ(enc.bit_count, wire::header_bits(h));
+    EXPECT_EQ(wire::decode_header(enc.bytes), h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderRoundTrip, ::testing::Range(0, 10));
+
+TEST(PacketHeader, TypicalRouteHeaderIsPaperSized) {
+  // A typical compressed route has ~6-10 waypoints with mostly-local deltas;
+  // the paper reports a median of ~175 bits. Sanity-check the ballpark.
+  wire::PacketHeader h;
+  h.waypoints = {40210, 40180, 39920, 39410, 38900, 38350, 38100};
+  const std::size_t bits = wire::header_bits(h);
+  EXPECT_GT(bits, 120u);
+  EXPECT_LT(bits, 260u);
+}
+
+// ------------------------------------------------------------ Fuzz decode -
+
+// Random byte soup must never crash the decoder: it either throws
+// DecodeError or yields a header (when the bits happen to parse).
+class HeaderFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeaderFuzz, RandomBytesNeverCrash) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7 + 3};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.uniform_int(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      const auto h = wire::decode_header(bytes);
+      // Parsed headers must satisfy the format invariants.
+      EXPECT_EQ(h.version, wire::kHeaderVersion);
+      EXPECT_LE(h.waypoints.size(), 4096u);
+    } catch (const wire::DecodeError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderFuzz, ::testing::Range(0, 8));
+
+TEST(HeaderFuzz, BitFlippedValidHeadersNeverCrash) {
+  Rng rng{4242};
+  wire::PacketHeader h;
+  h.message_id = 7;
+  h.postbox_tag = 9;
+  h.waypoints = {100, 120, 90, 300};
+  const auto enc = wire::encode_header(h);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = enc.bytes;
+    bytes[rng.uniform_int(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    try {
+      (void)wire::decode_header(bytes);
+    } catch (const wire::DecodeError&) {
+    }
+  }
+}

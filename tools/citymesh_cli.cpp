@@ -1,0 +1,343 @@
+// citymesh - command-line driver for the CityMesh library.
+//
+// Subcommands:
+//   profiles                     list the built-in city profiles
+//   evaluate <city> [opts]       run the Figure-6 protocol on one city
+//   survey <city>                run the wardriving study (Table-1 style)
+//   render <city> <out.svg>      render footprints + AP mesh
+//   islands <city> [--bridge]    island analysis, optionally plan bridges
+//   send <city> <from> <to>      simulate one end-to-end sealed message
+//
+// Common options:
+//   --range METERS        transmission range        (default 50)
+//   --density M2          m^2 of footprint per AP   (default 200)
+//   --width METERS        conduit width W           (default 50)
+//   --pairs N             reachability pairs        (default 1000)
+//   --deliver N           deliverability pairs      (default 50)
+//   --seed N              placement seed            (default 1)
+//   --suppression         enable same-building rebroadcast suppression
+//   --shadowed            use the shadowed link model instead of the disc
+//   --osm FILE            load an OSM XML extract instead of a profile
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "geo/stats.hpp"
+#include "cryptox/sealed.hpp"
+#include "measure/survey.hpp"
+#include "measure/survey_stats.hpp"
+#include "mesh/islands.hpp"
+#include "osmx/citygen.hpp"
+#include "osmx/osm_xml.hpp"
+#include "viz/ascii.hpp"
+#include "viz/svg.hpp"
+
+using namespace citymesh;
+
+namespace {
+
+struct Options {
+  double range_m = 50.0;
+  double m2_per_ap = 200.0;
+  double width_m = 50.0;
+  std::size_t pairs = 1000;
+  std::size_t deliver = 50;
+  std::uint64_t seed = 1;
+  bool suppression = false;
+  bool shadowed = false;
+  std::string osm_file;
+  std::vector<std::string> positional;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: citymesh <subcommand> [options]\n"
+      "  profiles                   list built-in city profiles\n"
+      "  evaluate <city>            reachability/deliverability/overhead\n"
+      "  survey <city>              wardriving study summary + CDFs\n"
+      "  render <city> <out.svg>    footprints + AP mesh render\n"
+      "  islands <city> [--bridge]  island analysis / gap bridging\n"
+      "  send <city> <from> <to>    one sealed end-to-end message\n"
+      "options: --range M --density M2 --width M --pairs N --deliver N\n"
+      "         --seed N --suppression --shadowed --osm FILE\n";
+  return 2;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+std::optional<Options> parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string{argv[++i]};
+    };
+    if (arg == "--range") {
+      const auto v = next();
+      if (!v || !parse_double(*v, opts.range_m)) return std::nullopt;
+    } else if (arg == "--density") {
+      const auto v = next();
+      if (!v || !parse_double(*v, opts.m2_per_ap)) return std::nullopt;
+    } else if (arg == "--width") {
+      const auto v = next();
+      if (!v || !parse_double(*v, opts.width_m)) return std::nullopt;
+    } else if (arg == "--pairs") {
+      std::uint64_t n = 0;
+      const auto v = next();
+      if (!v || !parse_u64(*v, n)) return std::nullopt;
+      opts.pairs = n;
+    } else if (arg == "--deliver") {
+      std::uint64_t n = 0;
+      const auto v = next();
+      if (!v || !parse_u64(*v, n)) return std::nullopt;
+      opts.deliver = n;
+    } else if (arg == "--seed") {
+      const auto v = next();
+      if (!v || !parse_u64(*v, opts.seed)) return std::nullopt;
+    } else if (arg == "--bridge") {
+      opts.positional.push_back("bridge");
+    } else if (arg == "--suppression") {
+      opts.suppression = true;
+    } else if (arg == "--shadowed") {
+      opts.shadowed = true;
+    } else if (arg == "--osm") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.osm_file = *v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << '\n';
+      return std::nullopt;
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+std::optional<osmx::City> load_city(const Options& opts, std::size_t index = 0) {
+  if (!opts.osm_file.empty()) {
+    std::ifstream file{opts.osm_file};
+    if (!file) {
+      std::cerr << "cannot open " << opts.osm_file << '\n';
+      return std::nullopt;
+    }
+    return osmx::load_osm_xml(file, opts.osm_file);
+  }
+  if (index >= opts.positional.size()) {
+    std::cerr << "missing city name (or --osm FILE)\n";
+    return std::nullopt;
+  }
+  try {
+    return osmx::generate_city(osmx::profile_by_name(opts.positional[index]));
+  } catch (const std::out_of_range&) {
+    std::cerr << "unknown profile '" << opts.positional[index] << "'; see `citymesh profiles`\n";
+    return std::nullopt;
+  }
+}
+
+core::NetworkConfig network_config(const Options& opts) {
+  core::NetworkConfig cfg;
+  cfg.placement.density_per_m2 = 1.0 / opts.m2_per_ap;
+  cfg.placement.transmission_range_m = opts.range_m;
+  cfg.placement.seed = opts.seed;
+  cfg.placement.link_model =
+      opts.shadowed ? mesh::LinkModel::kShadowed : mesh::LinkModel::kDisc;
+  cfg.graph.transmission_range_m = opts.range_m;
+  cfg.conduit.width_m = opts.width_m;
+  cfg.building_suppression = opts.suppression;
+  return cfg;
+}
+
+int cmd_profiles() {
+  viz::print_table(std::cout, "Built-in city profiles",
+                   {"name", "extent (km)", "rivers", "notes"},
+                   [] {
+                     std::vector<std::vector<std::string>> rows;
+                     for (const auto& p : osmx::default_profiles()) {
+                       rows.push_back(
+                           {p.name,
+                            viz::fmt(p.width_m / 1000.0, 1) + " x " +
+                                viz::fmt(p.height_m / 1000.0, 1),
+                            std::to_string(p.rivers.size()),
+                            p.rivers.empty()
+                                ? "contiguous fabric"
+                                : (p.rivers[0].bridges.empty() ? "unbridged water"
+                                                               : "bridged water")});
+                     }
+                     return rows;
+                   }());
+  return 0;
+}
+
+int cmd_evaluate(const Options& opts) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+  core::EvaluationConfig cfg;
+  cfg.reachability_pairs = opts.pairs;
+  cfg.deliverability_pairs = opts.deliver;
+  cfg.network = network_config(opts);
+  const auto eval = core::evaluate_city(*city, cfg);
+  viz::print_table(
+      std::cout, "Evaluation: " + eval.city,
+      {"metric", "value"},
+      {{"buildings", std::to_string(eval.buildings)},
+       {"APs", std::to_string(eval.aps)},
+       {"islands (major)", std::to_string(eval.ap_major_islands)},
+       {"reachability", viz::fmt(eval.reachability(), 3)},
+       {"deliverability", viz::fmt(eval.deliverability(), 3)},
+       {"overhead (median)",
+        eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1) + "x"},
+       {"header bits (median)",
+        eval.header_bits.empty() ? "-" : viz::fmt(eval.median_header_bits(), 0)}});
+  return 0;
+}
+
+int cmd_survey(const Options& opts) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+  const auto datasets = measure::run_survey(*city, {});
+  if (datasets.empty()) {
+    std::cout << "no labeled survey regions in this city\n";
+    return 0;
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& d : datasets) {
+    const auto macs = measure::macs_per_measurement(d);
+    const auto spreads = measure::spread_per_ap(d);
+    rows.push_back({d.name, std::to_string(d.measurement_count()),
+                    std::to_string(d.unique_aps()), viz::fmt(geo::median(macs), 0),
+                    viz::fmt(geo::median(spreads), 0) + " m"});
+  }
+  viz::print_table(std::cout, "Survey: " + city->name(),
+                   {"area", "# meas", "# unique APs", "med MACs/meas", "med spread"},
+                   rows);
+  return 0;
+}
+
+int cmd_render(const Options& opts) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+  if (opts.positional.size() < 2) {
+    std::cerr << "usage: citymesh render <city> <out.svg>\n";
+    return 2;
+  }
+  const std::string out_path = opts.positional[1];
+  mesh::PlacementConfig placement = network_config(opts).placement;
+  const auto net = mesh::place_aps(*city, placement);
+
+  viz::SvgScene scene{city->extent(), 1200.0};
+  for (const auto& water : city->water()) scene.add_polygon(water, "#a8c8e8");
+  for (const auto& park : city->parks()) scene.add_polygon(park, "#cde6c8");
+  for (const auto& b : city->buildings()) scene.add_polygon(b.footprint, "#c0392b");
+  for (const auto& ap : net.aps()) {
+    for (const auto& e : net.graph().neighbors(ap.id)) {
+      if (e.to < ap.id) continue;
+      scene.add_line(ap.position, net.ap(e.to).position, "#999999", 0.4, 0.5);
+    }
+  }
+  for (const auto& ap : net.aps()) scene.add_circle(ap.position, 1.0, "#222222", 0.8);
+  if (!scene.write_file(out_path)) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << out_path << " (" << city->building_count() << " buildings, "
+            << net.ap_count() << " APs, " << net.graph().edge_count() << " links)\n";
+  return 0;
+}
+
+int cmd_islands(const Options& opts, bool bridge) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+  const auto net = mesh::place_aps(*city, network_config(opts).placement);
+  const auto report = mesh::analyze_islands(net);
+  std::cout << net.ap_count() << " APs in " << report.island_count
+            << " islands; largest holds " << viz::fmt(report.largest_fraction * 100, 1)
+            << "%\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, report.sizes.size()); ++i) {
+    std::cout << "  island " << i << ": " << report.sizes[i] << " APs\n";
+  }
+  if (bridge && report.island_count > 1) {
+    const auto plan = mesh::plan_bridges(net);
+    std::cout << "bridge plan: " << plan.new_aps.size() << " new APs\n";
+    const auto fixed = mesh::apply_bridges(net, plan);
+    std::cout << "after bridging: largest island holds "
+              << viz::fmt(mesh::analyze_islands(fixed).largest_fraction * 100, 1) << "%\n";
+  }
+  return 0;
+}
+
+int cmd_send(const Options& opts) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+  if (opts.positional.size() < 3) {
+    std::cerr << "usage: citymesh send <city> <from-building> <to-building>\n";
+    return 2;
+  }
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  if (!parse_u64(opts.positional[1], from) || !parse_u64(opts.positional[2], to) ||
+      from >= city->building_count() || to >= city->building_count()) {
+    std::cerr << "building ids must be < " << city->building_count() << '\n';
+    return 2;
+  }
+  core::CityMeshNetwork net{*city, network_config(opts)};
+  const auto alice = cryptox::KeyPair::from_seed(opts.seed + 1);
+  const auto bob = cryptox::KeyPair::from_seed(opts.seed + 2);
+  const auto info = core::PostboxInfo::for_key(bob, static_cast<osmx::BuildingId>(to));
+  const auto box = net.register_postbox(info);
+  if (!box) {
+    std::cerr << "destination building has no APs\n";
+    return 1;
+  }
+  const auto sealed = cryptox::seal(alice, info.public_key, "cli test message", opts.seed);
+  const auto blob = sealed.serialize();
+  const auto outcome =
+      net.send(static_cast<osmx::BuildingId>(from), info, {blob.data(), blob.size()});
+  std::cout << "route found: " << (outcome.route_found ? "yes" : "no") << '\n';
+  if (outcome.route_found) {
+    std::cout << "  buildings " << outcome.route.buildings.size() << " -> waypoints "
+              << outcome.route.waypoints.size() << " (" << outcome.header_bits
+              << " header bits)\n"
+              << "  delivered: " << (outcome.delivered ? "yes" : "no") << " in "
+              << viz::fmt(outcome.delivery_time_s * 1000, 1) << " ms, "
+              << outcome.transmissions << " broadcasts";
+    if (const auto oh = outcome.overhead()) std::cout << " (" << viz::fmt(*oh, 1) << "x)";
+    std::cout << '\n';
+  }
+  return outcome.delivered ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto opts = parse_options(argc, argv, 2);
+  if (!opts) return usage();
+
+  if (cmd == "profiles") return cmd_profiles();
+  if (cmd == "evaluate") return cmd_evaluate(*opts);
+  if (cmd == "survey") return cmd_survey(*opts);
+  if (cmd == "render") return cmd_render(*opts);
+  if (cmd == "islands") {
+    const bool bridge = std::any_of(opts->positional.begin(), opts->positional.end(),
+                                    [](const std::string& s) { return s == "bridge"; });
+    return cmd_islands(*opts, bridge);
+  }
+  if (cmd == "send") return cmd_send(*opts);
+  return usage();
+}
