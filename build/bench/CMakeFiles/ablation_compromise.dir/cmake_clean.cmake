@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compromise.dir/ablation_compromise.cpp.o"
+  "CMakeFiles/ablation_compromise.dir/ablation_compromise.cpp.o.d"
+  "ablation_compromise"
+  "ablation_compromise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compromise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_scaling.dir/ablation_control_scaling.cpp.o"
+  "CMakeFiles/ablation_control_scaling.dir/ablation_control_scaling.cpp.o.d"
+  "ablation_control_scaling"
+  "ablation_control_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

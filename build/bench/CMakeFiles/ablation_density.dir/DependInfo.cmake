@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_density.cpp" "bench/CMakeFiles/ablation_density.dir/ablation_density.cpp.o" "gcc" "bench/CMakeFiles/ablation_density.dir/ablation_density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/citymesh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/citymesh_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/citymesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/citymesh_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/cryptox/CMakeFiles/citymesh_cryptox.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/citymesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/citymesh_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/citymesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphx/CMakeFiles/citymesh_graphx.dir/DependInfo.cmake"
+  "/root/repo/build/src/osmx/CMakeFiles/citymesh_osmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/citymesh_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cdfs.dir/fig1_cdfs.cpp.o"
+  "CMakeFiles/fig1_cdfs.dir/fig1_cdfs.cpp.o.d"
+  "fig1_cdfs"
+  "fig1_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

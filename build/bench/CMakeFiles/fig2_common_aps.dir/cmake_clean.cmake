@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_common_aps.dir/fig2_common_aps.cpp.o"
+  "CMakeFiles/fig2_common_aps.dir/fig2_common_aps.cpp.o.d"
+  "fig2_common_aps"
+  "fig2_common_aps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_common_aps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_render.dir/fig5_render.cpp.o"
+  "CMakeFiles/fig5_render.dir/fig5_render.cpp.o.d"
+  "fig5_render"
+  "fig5_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

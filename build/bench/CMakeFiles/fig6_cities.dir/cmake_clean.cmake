@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cities.dir/fig6_cities.cpp.o"
+  "CMakeFiles/fig6_cities.dir/fig6_cities.cpp.o.d"
+  "fig6_cities"
+  "fig6_cities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

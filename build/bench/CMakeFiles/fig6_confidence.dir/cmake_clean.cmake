@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_confidence.dir/fig6_confidence.cpp.o"
+  "CMakeFiles/fig6_confidence.dir/fig6_confidence.cpp.o.d"
+  "fig6_confidence"
+  "fig6_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_stats.dir/header_stats.cpp.o"
+  "CMakeFiles/header_stats.dir/header_stats.cpp.o.d"
+  "header_stats"
+  "header_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

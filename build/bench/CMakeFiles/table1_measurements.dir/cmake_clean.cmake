@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_measurements.dir/table1_measurements.cpp.o"
+  "CMakeFiles/table1_measurements.dir/table1_measurements.cpp.o.d"
+  "table1_measurements"
+  "table1_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_messaging.dir/disaster_messaging.cpp.o"
+  "CMakeFiles/disaster_messaging.dir/disaster_messaging.cpp.o.d"
+  "disaster_messaging"
+  "disaster_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_bridging.dir/gap_bridging.cpp.o"
+  "CMakeFiles/gap_bridging.dir/gap_bridging.cpp.o.d"
+  "gap_bridging"
+  "gap_bridging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

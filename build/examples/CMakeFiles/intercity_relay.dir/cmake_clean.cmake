@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercity_relay.dir/intercity_relay.cpp.o"
+  "CMakeFiles/intercity_relay.dir/intercity_relay.cpp.o.d"
+  "intercity_relay"
+  "intercity_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercity_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

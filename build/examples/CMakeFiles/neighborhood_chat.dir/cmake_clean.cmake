@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_chat.dir/neighborhood_chat.cpp.o"
+  "CMakeFiles/neighborhood_chat.dir/neighborhood_chat.cpp.o.d"
+  "neighborhood_chat"
+  "neighborhood_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_import.dir/osm_import.cpp.o"
+  "CMakeFiles/osm_import.dir/osm_import.cpp.o.d"
+  "osm_import"
+  "osm_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_device.dir/roaming_device.cpp.o"
+  "CMakeFiles/roaming_device.dir/roaming_device.cpp.o.d"
+  "roaming_device"
+  "roaming_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

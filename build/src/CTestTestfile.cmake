@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("graphx")
+subdirs("wire")
+subdirs("cryptox")
+subdirs("osmx")
+subdirs("mesh")
+subdirs("sim")
+subdirs("routing")
+subdirs("core")
+subdirs("apps")
+subdirs("measure")
+subdirs("viz")

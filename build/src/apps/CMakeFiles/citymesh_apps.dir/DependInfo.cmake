@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bulletin.cpp" "src/apps/CMakeFiles/citymesh_apps.dir/bulletin.cpp.o" "gcc" "src/apps/CMakeFiles/citymesh_apps.dir/bulletin.cpp.o.d"
+  "/root/repo/src/apps/device.cpp" "src/apps/CMakeFiles/citymesh_apps.dir/device.cpp.o" "gcc" "src/apps/CMakeFiles/citymesh_apps.dir/device.cpp.o.d"
+  "/root/repo/src/apps/federation.cpp" "src/apps/CMakeFiles/citymesh_apps.dir/federation.cpp.o" "gcc" "src/apps/CMakeFiles/citymesh_apps.dir/federation.cpp.o.d"
+  "/root/repo/src/apps/messenger.cpp" "src/apps/CMakeFiles/citymesh_apps.dir/messenger.cpp.o" "gcc" "src/apps/CMakeFiles/citymesh_apps.dir/messenger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/citymesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cryptox/CMakeFiles/citymesh_cryptox.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/citymesh_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/citymesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/osmx/CMakeFiles/citymesh_osmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/citymesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphx/CMakeFiles/citymesh_graphx.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_apps.dir/bulletin.cpp.o"
+  "CMakeFiles/citymesh_apps.dir/bulletin.cpp.o.d"
+  "CMakeFiles/citymesh_apps.dir/device.cpp.o"
+  "CMakeFiles/citymesh_apps.dir/device.cpp.o.d"
+  "CMakeFiles/citymesh_apps.dir/federation.cpp.o"
+  "CMakeFiles/citymesh_apps.dir/federation.cpp.o.d"
+  "CMakeFiles/citymesh_apps.dir/messenger.cpp.o"
+  "CMakeFiles/citymesh_apps.dir/messenger.cpp.o.d"
+  "libcitymesh_apps.a"
+  "libcitymesh_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

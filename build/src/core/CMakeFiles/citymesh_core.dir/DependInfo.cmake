@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap_agent.cpp" "src/core/CMakeFiles/citymesh_core.dir/ap_agent.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/ap_agent.cpp.o.d"
+  "/root/repo/src/core/building_graph.cpp" "src/core/CMakeFiles/citymesh_core.dir/building_graph.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/building_graph.cpp.o.d"
+  "/root/repo/src/core/conduit.cpp" "src/core/CMakeFiles/citymesh_core.dir/conduit.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/conduit.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/citymesh_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/citymesh_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/postbox.cpp" "src/core/CMakeFiles/citymesh_core.dir/postbox.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/postbox.cpp.o.d"
+  "/root/repo/src/core/route_planner.cpp" "src/core/CMakeFiles/citymesh_core.dir/route_planner.cpp.o" "gcc" "src/core/CMakeFiles/citymesh_core.dir/route_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphx/CMakeFiles/citymesh_graphx.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/citymesh_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/cryptox/CMakeFiles/citymesh_cryptox.dir/DependInfo.cmake"
+  "/root/repo/build/src/osmx/CMakeFiles/citymesh_osmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/citymesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/citymesh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_core.dir/ap_agent.cpp.o"
+  "CMakeFiles/citymesh_core.dir/ap_agent.cpp.o.d"
+  "CMakeFiles/citymesh_core.dir/building_graph.cpp.o"
+  "CMakeFiles/citymesh_core.dir/building_graph.cpp.o.d"
+  "CMakeFiles/citymesh_core.dir/conduit.cpp.o"
+  "CMakeFiles/citymesh_core.dir/conduit.cpp.o.d"
+  "CMakeFiles/citymesh_core.dir/evaluation.cpp.o"
+  "CMakeFiles/citymesh_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/citymesh_core.dir/network.cpp.o"
+  "CMakeFiles/citymesh_core.dir/network.cpp.o.d"
+  "CMakeFiles/citymesh_core.dir/postbox.cpp.o"
+  "CMakeFiles/citymesh_core.dir/postbox.cpp.o.d"
+  "CMakeFiles/citymesh_core.dir/route_planner.cpp.o"
+  "CMakeFiles/citymesh_core.dir/route_planner.cpp.o.d"
+  "libcitymesh_core.a"
+  "libcitymesh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

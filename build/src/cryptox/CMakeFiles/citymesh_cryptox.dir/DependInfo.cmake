@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cryptox/chacha20.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/chacha20.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/chacha20.cpp.o.d"
+  "/root/repo/src/cryptox/ed25519.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/ed25519.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/ed25519.cpp.o.d"
+  "/root/repo/src/cryptox/identity.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/identity.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/identity.cpp.o.d"
+  "/root/repo/src/cryptox/sealed.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/sealed.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/sealed.cpp.o.d"
+  "/root/repo/src/cryptox/sha256.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/sha256.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/sha256.cpp.o.d"
+  "/root/repo/src/cryptox/sha512.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/sha512.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/sha512.cpp.o.d"
+  "/root/repo/src/cryptox/x25519.cpp" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/x25519.cpp.o" "gcc" "src/cryptox/CMakeFiles/citymesh_cryptox.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

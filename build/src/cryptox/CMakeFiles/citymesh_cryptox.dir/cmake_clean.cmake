@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_cryptox.dir/chacha20.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/chacha20.cpp.o.d"
+  "CMakeFiles/citymesh_cryptox.dir/ed25519.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/ed25519.cpp.o.d"
+  "CMakeFiles/citymesh_cryptox.dir/identity.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/identity.cpp.o.d"
+  "CMakeFiles/citymesh_cryptox.dir/sealed.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/sealed.cpp.o.d"
+  "CMakeFiles/citymesh_cryptox.dir/sha256.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/sha256.cpp.o.d"
+  "CMakeFiles/citymesh_cryptox.dir/sha512.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/sha512.cpp.o.d"
+  "CMakeFiles/citymesh_cryptox.dir/x25519.cpp.o"
+  "CMakeFiles/citymesh_cryptox.dir/x25519.cpp.o.d"
+  "libcitymesh_cryptox.a"
+  "libcitymesh_cryptox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_cryptox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geometry.cpp" "src/geo/CMakeFiles/citymesh_geo.dir/geometry.cpp.o" "gcc" "src/geo/CMakeFiles/citymesh_geo.dir/geometry.cpp.o.d"
+  "/root/repo/src/geo/projection.cpp" "src/geo/CMakeFiles/citymesh_geo.dir/projection.cpp.o" "gcc" "src/geo/CMakeFiles/citymesh_geo.dir/projection.cpp.o.d"
+  "/root/repo/src/geo/spatial_grid.cpp" "src/geo/CMakeFiles/citymesh_geo.dir/spatial_grid.cpp.o" "gcc" "src/geo/CMakeFiles/citymesh_geo.dir/spatial_grid.cpp.o.d"
+  "/root/repo/src/geo/stats.cpp" "src/geo/CMakeFiles/citymesh_geo.dir/stats.cpp.o" "gcc" "src/geo/CMakeFiles/citymesh_geo.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_geo.dir/geometry.cpp.o"
+  "CMakeFiles/citymesh_geo.dir/geometry.cpp.o.d"
+  "CMakeFiles/citymesh_geo.dir/projection.cpp.o"
+  "CMakeFiles/citymesh_geo.dir/projection.cpp.o.d"
+  "CMakeFiles/citymesh_geo.dir/spatial_grid.cpp.o"
+  "CMakeFiles/citymesh_geo.dir/spatial_grid.cpp.o.d"
+  "CMakeFiles/citymesh_geo.dir/stats.cpp.o"
+  "CMakeFiles/citymesh_geo.dir/stats.cpp.o.d"
+  "libcitymesh_geo.a"
+  "libcitymesh_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

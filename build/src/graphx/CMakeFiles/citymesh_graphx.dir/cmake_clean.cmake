@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_graphx.dir/graph.cpp.o"
+  "CMakeFiles/citymesh_graphx.dir/graph.cpp.o.d"
+  "CMakeFiles/citymesh_graphx.dir/shortest_path.cpp.o"
+  "CMakeFiles/citymesh_graphx.dir/shortest_path.cpp.o.d"
+  "libcitymesh_graphx.a"
+  "libcitymesh_graphx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_graphx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

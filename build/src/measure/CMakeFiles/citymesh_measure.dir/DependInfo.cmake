@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/survey.cpp" "src/measure/CMakeFiles/citymesh_measure.dir/survey.cpp.o" "gcc" "src/measure/CMakeFiles/citymesh_measure.dir/survey.cpp.o.d"
+  "/root/repo/src/measure/survey_stats.cpp" "src/measure/CMakeFiles/citymesh_measure.dir/survey_stats.cpp.o" "gcc" "src/measure/CMakeFiles/citymesh_measure.dir/survey_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/osmx/CMakeFiles/citymesh_osmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/citymesh_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphx/CMakeFiles/citymesh_graphx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

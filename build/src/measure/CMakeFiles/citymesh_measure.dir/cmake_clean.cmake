@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_measure.dir/survey.cpp.o"
+  "CMakeFiles/citymesh_measure.dir/survey.cpp.o.d"
+  "CMakeFiles/citymesh_measure.dir/survey_stats.cpp.o"
+  "CMakeFiles/citymesh_measure.dir/survey_stats.cpp.o.d"
+  "libcitymesh_measure.a"
+  "libcitymesh_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

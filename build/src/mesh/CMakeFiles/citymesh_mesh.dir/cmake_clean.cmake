@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_mesh.dir/ap_network.cpp.o"
+  "CMakeFiles/citymesh_mesh.dir/ap_network.cpp.o.d"
+  "CMakeFiles/citymesh_mesh.dir/islands.cpp.o"
+  "CMakeFiles/citymesh_mesh.dir/islands.cpp.o.d"
+  "libcitymesh_mesh.a"
+  "libcitymesh_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osmx/building.cpp" "src/osmx/CMakeFiles/citymesh_osmx.dir/building.cpp.o" "gcc" "src/osmx/CMakeFiles/citymesh_osmx.dir/building.cpp.o.d"
+  "/root/repo/src/osmx/citygen.cpp" "src/osmx/CMakeFiles/citymesh_osmx.dir/citygen.cpp.o" "gcc" "src/osmx/CMakeFiles/citymesh_osmx.dir/citygen.cpp.o.d"
+  "/root/repo/src/osmx/osm_xml.cpp" "src/osmx/CMakeFiles/citymesh_osmx.dir/osm_xml.cpp.o" "gcc" "src/osmx/CMakeFiles/citymesh_osmx.dir/osm_xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_osmx.dir/building.cpp.o"
+  "CMakeFiles/citymesh_osmx.dir/building.cpp.o.d"
+  "CMakeFiles/citymesh_osmx.dir/citygen.cpp.o"
+  "CMakeFiles/citymesh_osmx.dir/citygen.cpp.o.d"
+  "CMakeFiles/citymesh_osmx.dir/osm_xml.cpp.o"
+  "CMakeFiles/citymesh_osmx.dir/osm_xml.cpp.o.d"
+  "libcitymesh_osmx.a"
+  "libcitymesh_osmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_osmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

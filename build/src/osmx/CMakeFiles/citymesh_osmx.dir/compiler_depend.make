@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for citymesh_osmx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/baselines.cpp" "src/routing/CMakeFiles/citymesh_routing.dir/baselines.cpp.o" "gcc" "src/routing/CMakeFiles/citymesh_routing.dir/baselines.cpp.o.d"
+  "/root/repo/src/routing/control_overhead.cpp" "src/routing/CMakeFiles/citymesh_routing.dir/control_overhead.cpp.o" "gcc" "src/routing/CMakeFiles/citymesh_routing.dir/control_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/citymesh_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphx/CMakeFiles/citymesh_graphx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_routing.dir/baselines.cpp.o"
+  "CMakeFiles/citymesh_routing.dir/baselines.cpp.o.d"
+  "CMakeFiles/citymesh_routing.dir/control_overhead.cpp.o"
+  "CMakeFiles/citymesh_routing.dir/control_overhead.cpp.o.d"
+  "libcitymesh_routing.a"
+  "libcitymesh_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_sim.dir/simulator.cpp.o"
+  "CMakeFiles/citymesh_sim.dir/simulator.cpp.o.d"
+  "libcitymesh_sim.a"
+  "libcitymesh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_viz.dir/ascii.cpp.o"
+  "CMakeFiles/citymesh_viz.dir/ascii.cpp.o.d"
+  "CMakeFiles/citymesh_viz.dir/svg.cpp.o"
+  "CMakeFiles/citymesh_viz.dir/svg.cpp.o.d"
+  "libcitymesh_viz.a"
+  "libcitymesh_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

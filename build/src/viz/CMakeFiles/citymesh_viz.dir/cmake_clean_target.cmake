@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcitymesh_viz.a"
+)

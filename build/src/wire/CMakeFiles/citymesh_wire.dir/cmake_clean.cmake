@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_wire.dir/bitio.cpp.o"
+  "CMakeFiles/citymesh_wire.dir/bitio.cpp.o.d"
+  "CMakeFiles/citymesh_wire.dir/packet.cpp.o"
+  "CMakeFiles/citymesh_wire.dir/packet.cpp.o.d"
+  "libcitymesh_wire.a"
+  "libcitymesh_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

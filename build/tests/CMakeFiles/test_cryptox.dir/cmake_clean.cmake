@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cryptox.dir/test_cryptox.cpp.o"
+  "CMakeFiles/test_cryptox.dir/test_cryptox.cpp.o.d"
+  "test_cryptox"
+  "test_cryptox.pdb"
+  "test_cryptox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cryptox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphx.dir/test_graphx.cpp.o"
+  "CMakeFiles/test_graphx.dir/test_graphx.cpp.o.d"
+  "test_graphx"
+  "test_graphx.pdb"
+  "test_graphx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osmx.dir/test_osmx.cpp.o"
+  "CMakeFiles/test_osmx.dir/test_osmx.cpp.o.d"
+  "test_osmx"
+  "test_osmx.pdb"
+  "test_osmx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

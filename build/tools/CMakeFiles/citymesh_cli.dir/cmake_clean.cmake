@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citymesh_cli.dir/citymesh_cli.cpp.o"
+  "CMakeFiles/citymesh_cli.dir/citymesh_cli.cpp.o.d"
+  "citymesh"
+  "citymesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citymesh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
