@@ -1,0 +1,230 @@
+// Figure 8 (extension): deliverability under regional blackouts.
+//
+// The paper motivates CityMesh as a *fallback* network for infrastructure
+// failures (§1) but evaluates only healthy meshes. This bench quantifies the
+// fallback story: a downtown blackout polygon grows from 0% to 60% of the
+// downtown core's area, and at each outage size we re-run the Fig-6
+// reachability/deliverability protocol over the surviving mesh — including
+// `send_reliable` width-escalation rescues of first-try failures.
+//
+// Expected shape: reachability degrades gracefully while the outage stays
+// inside the core (floods detour around it through the surrounding fabric);
+// once the dead zone spans the core, pairs straddling downtown lose every
+// conduit and deliverability collapses. Rescue widths recover some of the
+// grazing failures but cannot cross a fully dead region.
+//
+// Everything is seeded (placement, scenario expansion, pair sampling), so a
+// second run of this binary prints byte-identical rows; the determinism
+// digest at the bottom makes the comparison a one-line diff.
+//
+// Pass city names as arguments to restrict the run (default: boston,
+// chicago, washington_dc). Writes fig8_scenario.svg: the first city's mesh
+// under the 30% blackout with one traced delivery attempt.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/network.hpp"
+#include "faultx/engine.hpp"
+#include "faultx/render.hpp"
+#include "faultx/scenario.hpp"
+#include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace faultx = citymesh::faultx;
+namespace geo = citymesh::geo;
+namespace osmx = citymesh::osmx;
+namespace viz = citymesh::viz;
+
+namespace {
+
+constexpr double kOutageFractions[] = {0.0, 0.1, 0.2, 0.3, 0.45, 0.6};
+constexpr double kSvgFraction = 0.3;
+
+// The downtown core of a generated city: the labeled kDowntown region when
+// present, otherwise the central block of the extent (downtown_radius_frac
+// defaults put the core roughly in the middle half).
+geo::Rect downtown_bounds(const osmx::City& city) {
+  for (const auto& region : city.regions()) {
+    if (region.type == osmx::AreaType::kDowntown) return region.bounds;
+  }
+  const geo::Rect& e = city.extent();
+  const geo::Point c{(e.min.x + e.max.x) / 2.0, (e.min.y + e.max.y) / 2.0};
+  return {{c.x - e.width() * 0.25, c.y - e.height() * 0.25},
+          {c.x + e.width() * 0.25, c.y + e.height() * 0.25}};
+}
+
+// A blackout rectangle covering `fraction` of the downtown core's area,
+// concentric with it (both sides scale by sqrt(fraction)).
+geo::Polygon blackout_region(const geo::Rect& downtown, double fraction) {
+  const double s = std::sqrt(fraction);
+  const geo::Point c{(downtown.min.x + downtown.max.x) / 2.0,
+                     (downtown.min.y + downtown.max.y) / 2.0};
+  const double hw = downtown.width() * s / 2.0;
+  const double hh = downtown.height() * s / 2.0;
+  return geo::Polygon::rectangle({{c.x - hw, c.y - hh}, {c.x + hw, c.y + hh}});
+}
+
+faultx::Scenario blackout_scenario(const std::string& city, double fraction,
+                                   const geo::Rect& downtown) {
+  faultx::Scenario scenario;
+  scenario.name = city + "/blackout-" + viz::fmt(fraction * 100.0, 0) + "%";
+  scenario.seed = 811;
+  if (fraction > 0.0) {
+    faultx::BlackoutEvent blackout;
+    blackout.region = blackout_region(downtown, fraction);
+    blackout.at_s = 0.0;
+    scenario.blackouts.push_back(std::move(blackout));
+  }
+  return scenario;
+}
+
+core::NetworkConfig network_config() {
+  core::NetworkConfig config;
+  config.placement.seed = 7;
+  config.seed = 99;
+  return config;
+}
+
+// Fraction of downtown-core buildings that still have a live AP — the
+// in-outage counterpart to the city-wide reachability column (the blackout
+// is a small fraction of the whole city, so this is where the collapse
+// actually shows).
+double core_service_fraction(const core::CityMeshNetwork& network,
+                             const geo::Rect& downtown) {
+  std::size_t total = 0;
+  std::size_t served = 0;
+  for (const auto& b : network.city().buildings()) {
+    if (!downtown.contains(b.centroid)) continue;
+    ++total;
+    if (network.live_ap(b.id)) ++served;
+  }
+  return total ? static_cast<double>(served) / static_cast<double>(total) : 0.0;
+}
+
+// FNV-1a over the table rows: two same-seed runs must print the same digest.
+std::uint64_t digest_rows(const std::vector<std::vector<std::string>>& rows) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& row : rows) {
+    for (const auto& cell : row) {
+      for (const char c : cell) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  return h;
+}
+
+// One traced delivery across the blackout: the west-most and east-most
+// buildings that still have a live AP. The planned conduit either detours
+// around the dead zone or is severed by it — both render meaningfully.
+void render_scenario(const osmx::CityProfile& profile, const std::string& path) {
+  const osmx::City city = osmx::generate_city(profile);
+  core::CityMeshNetwork network{city, network_config()};
+  const geo::Rect downtown = downtown_bounds(city);
+  faultx::ScenarioEngine engine{
+      network, blackout_scenario(profile.name, kSvgFraction, downtown)};
+  engine.apply_all();
+
+  std::optional<osmx::BuildingId> west, east;
+  for (const auto& b : city.buildings()) {
+    if (!network.live_ap(b.id)) continue;
+    if (!west || b.centroid.x < city.building(*west).centroid.x) west = b.id;
+    if (!east || b.centroid.x > city.building(*east).centroid.x) east = b.id;
+  }
+  const core::SendOutcome* trace = nullptr;
+  core::SendOutcome outcome;
+  if (west && east && *west != *east) {
+    const auto key = citymesh::cryptox::KeyPair::from_seed(31337);
+    const core::PostboxInfo to = core::PostboxInfo::for_key(key, *east);
+    network.register_postbox(to);
+    const std::uint8_t payload[] = {'f', 'i', 'g', '8'};
+    core::SendOptions opts;
+    opts.collect_trace = true;
+    outcome = network.send(*west, to, payload, opts);
+    trace = &outcome;
+  }
+
+  if (faultx::render_scenario_svg(network, engine.scenario().outage_regions,
+                                  trace, path)) {
+    std::cout << "\nWrote " << path << " (" << profile.name << ", "
+              << viz::fmt(kSvgFraction * 100.0, 0) << "% downtown blackout, "
+              << (trace && outcome.delivered ? "delivered" : "not delivered")
+              << ")\n";
+  } else {
+    std::cout << "\nFailed to write " << path << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "CityMesh extension - Figure 8 (deliverability vs outage size)\n"
+            << "blackout polygon grows over the downtown core; Fig-6 protocol\n"
+            << "re-measured on the surviving mesh at each size\n";
+
+  std::vector<osmx::CityProfile> profiles;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) profiles.push_back(osmx::profile_by_name(argv[i]));
+  } else {
+    for (const char* name : {"boston", "chicago", "washington_dc"}) {
+      profiles.push_back(osmx::profile_by_name(name));
+    }
+  }
+
+  core::SnapshotConfig snapshot;
+  snapshot.pairs = 400;
+  snapshot.deliver_pairs = 25;
+  snapshot.reliable_rescue = true;
+  snapshot.seed = 4242;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& profile : profiles) {
+    const osmx::City city = osmx::generate_city(profile);
+    const geo::Rect downtown = downtown_bounds(city);
+    for (const double fraction : kOutageFractions) {
+      // Fresh network per point: identical placement (seeded), so the sweep
+      // varies only the outage size.
+      core::CityMeshNetwork network{city, network_config()};
+      faultx::ScenarioEngine engine{
+          network, blackout_scenario(profile.name, fraction, downtown)};
+      engine.apply_all();
+      const core::NetworkSnapshot snap = core::evaluate_snapshot(network, snapshot);
+      rows.push_back({profile.name, viz::fmt(fraction * 100.0, 0) + "%",
+                      std::to_string(snap.aps_total - snap.aps_up),
+                      viz::fmt(snap.up_fraction(), 3),
+                      viz::fmt(core_service_fraction(network, downtown), 3),
+                      viz::fmt(snap.reachability(), 3),
+                      viz::fmt(snap.deliverability(), 3),
+                      std::to_string(snap.rescues_succeeded) + "/" +
+                          std::to_string(snap.rescues_attempted),
+                      viz::fmt(snap.deliverability_with_rescue(), 3)});
+      std::cout << "  [" << profile.name << " " << viz::fmt(fraction * 100.0, 0)
+                << "%] aps down=" << (snap.aps_total - snap.aps_up)
+                << " reach=" << viz::fmt(snap.reachability(), 3)
+                << " deliver=" << viz::fmt(snap.deliverability(), 3) << std::endl;
+    }
+  }
+
+  viz::print_table(std::cout,
+                   "Figure 8: downtown blackout sweep (0-60% of core area)",
+                   {"city", "outage", "APs down", "up frac", "core srv", "reach",
+                    "deliver", "rescued", "deliver+rescue"},
+                   rows);
+
+  std::cout << "\nDeterminism digest: " << std::hex << digest_rows(rows) << std::dec
+            << "  (same seed => same digest across runs)\n"
+            << "Expected shape: graceful reachability decay while the outage\n"
+            << "stays inside the core, collapse once it spans downtown; wider\n"
+            << "rescue conduits recover grazing failures only.\n";
+
+  render_scenario(profiles.front(), "fig8_scenario.svg");
+  return 0;
+}

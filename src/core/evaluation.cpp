@@ -72,6 +72,79 @@ CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& con
   return eval;
 }
 
+NetworkSnapshot evaluate_snapshot(CityMeshNetwork& network, const SnapshotConfig& config) {
+  NetworkSnapshot snap;
+  snap.at_s = network.simulator().now();
+  snap.aps_total = network.aps().ap_count();
+  snap.aps_up = network.aps_up();
+
+  const osmx::City& city = network.city();
+  const std::size_t n = city.building_count();
+  if (n < 2) return snap;
+
+  // Live AP connectivity: union the surviving links (both endpoints up).
+  // Down APs keep their vertex but join nothing, so they are unreachable.
+  const graphx::Graph& graph = network.aps().graph();
+  graphx::UnionFind uf{graph.vertex_count()};
+  for (graphx::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (!network.ap_up(v)) continue;
+    for (const graphx::Edge& e : graph.neighbors(v)) {
+      if (e.to < v || !network.ap_up(e.to)) continue;
+      uf.unite(v, e.to);
+    }
+  }
+
+  geo::Rng rng{config.seed};
+  struct Pair {
+    BuildingId a;
+    BuildingId b;
+  };
+  std::vector<Pair> reachable;
+  for (std::size_t i = 0; i < config.pairs; ++i) {
+    const auto a = static_cast<BuildingId>(rng.uniform_int(n));
+    auto b = static_cast<BuildingId>(rng.uniform_int(n));
+    while (b == a) b = static_cast<BuildingId>(rng.uniform_int(n));
+    ++snap.pairs_tested;
+
+    const auto ap_a = network.live_ap(a);
+    const auto ap_b = network.live_ap(b);
+    if (ap_a && ap_b && uf.connected(*ap_a, *ap_b)) {
+      ++snap.pairs_reachable;
+      reachable.push_back({a, b});
+    }
+  }
+
+  static constexpr std::string_view kPayload = "citymesh-scenario-payload";
+  const std::span<const std::uint8_t> payload{
+      reinterpret_cast<const std::uint8_t*>(kPayload.data()), kPayload.size()};
+  const std::size_t to_test = std::min(config.deliver_pairs, reachable.size());
+  for (std::size_t i = 0; i < to_test; ++i) {
+    const Pair pair = reachable[i];
+    const auto keys = cryptox::KeyPair::from_seed(config.seed * 6151 + i);
+    const PostboxInfo info = PostboxInfo::for_key(keys, pair.b);
+    if (!network.register_postbox(info)) continue;
+
+    ++snap.deliveries_attempted;
+    const SendOutcome outcome = network.send(pair.a, info, payload);
+    if (outcome.delivered) {
+      ++snap.deliveries_succeeded;
+      continue;
+    }
+    if (!config.reliable_rescue) continue;
+
+    // Does widening the conduit route the flood around the outage? The
+    // escalation needs an ack path, so the sender registers its own postbox.
+    const auto sender_keys = cryptox::KeyPair::from_seed(config.seed * 9973 + i);
+    const PostboxInfo sender_info = PostboxInfo::for_key(sender_keys, pair.a);
+    if (!network.register_postbox(sender_info)) continue;
+    ++snap.rescues_attempted;
+    const ReliableOutcome rescue =
+        network.send_reliable(pair.a, info, payload, sender_info);
+    if (rescue.delivered) ++snap.rescues_succeeded;
+  }
+  return snap;
+}
+
 MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,
                                         const EvaluationConfig& config,
                                         std::size_t seed_count) {

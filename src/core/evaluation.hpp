@@ -76,4 +76,57 @@ MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,
                                         const EvaluationConfig& config,
                                         std::size_t seed_count);
 
+/// Checkpoint replay of the §4 protocol against a *live* network whose APs
+/// may be down (disaster scenarios, src/faultx). Reachability is measured
+/// over the surviving AP graph — down APs and their links are filtered live,
+/// not re-placed — and deliverability runs the full event simulation against
+/// the current fault state. Failed sends can optionally be retried through
+/// `send_reliable`'s width escalation to quantify whether widening the
+/// conduit rescues deliveries across an outage edge.
+struct SnapshotConfig {
+  std::size_t pairs = 200;          ///< building pairs sampled for reachability
+  std::size_t deliver_pairs = 20;   ///< reachable pairs run through the full sim
+  bool reliable_rescue = true;      ///< retry failed sends with wider conduits
+  std::uint64_t seed = 4242;        ///< pair sampling / recipient identities
+};
+
+struct NetworkSnapshot {
+  double at_s = 0.0;  ///< scenario time this snapshot describes
+  std::size_t aps_total = 0;
+  std::size_t aps_up = 0;
+  double up_fraction() const {
+    return aps_total ? static_cast<double>(aps_up) / aps_total : 0.0;
+  }
+
+  std::size_t pairs_tested = 0;
+  std::size_t pairs_reachable = 0;
+  double reachability() const {
+    return pairs_tested ? static_cast<double>(pairs_reachable) / pairs_tested : 0.0;
+  }
+
+  std::size_t deliveries_attempted = 0;
+  std::size_t deliveries_succeeded = 0;  ///< first-try, base conduit width
+  double deliverability() const {
+    return deliveries_attempted
+               ? static_cast<double>(deliveries_succeeded) / deliveries_attempted
+               : 0.0;
+  }
+
+  /// Width-escalation retries of the first-try failures.
+  std::size_t rescues_attempted = 0;
+  std::size_t rescues_succeeded = 0;
+  /// Deliverability counting rescued sends as delivered.
+  double deliverability_with_rescue() const {
+    return deliveries_attempted
+               ? static_cast<double>(deliveries_succeeded + rescues_succeeded) /
+                     deliveries_attempted
+               : 0.0;
+  }
+};
+
+/// Measure the network as it is *right now* (current AP status + degraded
+/// regions). Sampling is deterministic in config.seed, so the same seed
+/// re-measures the same pairs at every checkpoint of a scenario.
+NetworkSnapshot evaluate_snapshot(CityMeshNetwork& network, const SnapshotConfig& config);
+
 }  // namespace citymesh::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 
 namespace citymesh::core {
 
@@ -12,7 +13,9 @@ CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
       aps_(mesh::place_aps(city, config.placement)),
       planner_(map_, config.conduit),
       medium_(sim_, aps_.graph(), config.medium),
-      message_rng_(config.seed) {
+      message_rng_(config.seed),
+      ap_status_(aps_.ap_count(), ApStatus::kUp),
+      aps_up_(aps_.ap_count()) {
   agents_.reserve(aps_.ap_count());
   for (const auto& ap : aps_.aps()) {
     agents_.emplace_back(ap.id, ap.position, ap.building, map_);
@@ -22,6 +25,10 @@ CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
              const std::shared_ptr<const MeshPacket>& packet) {
         handle_delivery(to, from, packet);
       });
+  medium_.set_node_filter([this](sim::NodeId node) { return ap_up(node); });
+  medium_.set_link_loss([this](sim::NodeId from, sim::NodeId to) {
+    return extra_link_loss(from, to);
+  });
 }
 
 namespace {
@@ -62,9 +69,64 @@ std::shared_ptr<Postbox> CityMeshNetwork::postbox_at(
 
 void CityMeshNetwork::transmit_counted(mesh::ApId from,
                                        const std::shared_ptr<const MeshPacket>& packet) {
+  // An AP that went down after queuing this rebroadcast (backoff, ack) stays
+  // silent; the medium would block it anyway, but blocking here keeps the
+  // transmission count honest.
+  if (!ap_up(from)) return;
   ++active_.transmissions;
   if (active_.collect_trace) active_.rebroadcast_aps.push_back(from);
   medium_.transmit(from, packet);
+}
+
+void CityMeshNetwork::set_ap_status(mesh::ApId id, ApStatus status) {
+  ApStatus& slot = ap_status_.at(id);
+  if (slot == status) return;
+  slot = status;
+  aps_up_ += status == ApStatus::kUp ? 1 : -1;
+}
+
+std::optional<mesh::ApId> CityMeshNetwork::live_ap(BuildingId building) const {
+  const auto rep = aps_.representative_ap(*city_, building);
+  if (!rep) return std::nullopt;
+  if (ap_up(*rep)) return rep;
+  const geo::Point centroid = city_->building(building).centroid;
+  std::optional<mesh::ApId> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const mesh::ApId id : aps_.aps_of_building(building)) {
+    if (!ap_up(id)) continue;
+    const double d2 = geo::distance2(aps_.ap(id).position, centroid);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::size_t CityMeshNetwork::add_degraded_region(geo::Polygon region, double extra_loss) {
+  std::vector<char> members(aps_.ap_count(), 0);
+  for (const auto& ap : aps_.aps()) {
+    members[ap.id] = region.contains(ap.position) ? 1 : 0;
+  }
+  degraded_.push_back({std::move(region), extra_loss, /*active=*/true});
+  degraded_members_.push_back(std::move(members));
+  return degraded_.size() - 1;
+}
+
+void CityMeshNetwork::set_degraded_region_active(std::size_t handle, bool active) {
+  degraded_.at(handle).active = active;
+}
+
+double CityMeshNetwork::extra_link_loss(mesh::ApId from, mesh::ApId to) const {
+  if (degraded_.empty()) return 0.0;
+  double pass = 1.0;
+  for (std::size_t r = 0; r < degraded_.size(); ++r) {
+    if (!degraded_[r].active) continue;
+    if (degraded_members_[r][from] || degraded_members_[r][to]) {
+      pass *= 1.0 - degraded_[r].extra_loss;
+    }
+  }
+  return 1.0 - pass;
 }
 
 void CityMeshNetwork::send_ack_from(mesh::ApId ap) {
@@ -158,7 +220,9 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
   outcome.route_found = true;
   outcome.route = *route;
 
-  const auto src_ap = aps_.representative_ap(*city_, from_building);
+  // The sender's device associates with a *live* AP of its building; when
+  // every AP there is down (blackout at the source) the send fails upfront.
+  const auto src_ap = live_ap(from_building);
   if (!src_ap) return outcome;
   outcome.source_has_ap = true;
 

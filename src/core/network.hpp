@@ -35,6 +35,24 @@
 
 namespace citymesh::core {
 
+/// Live operational state of one AP. APs start up; disaster scenarios
+/// (src/faultx) flip them down and back over simulated time. A down AP
+/// neither receives nor rebroadcasts — links involving it are filtered at
+/// transmit/delivery time by the medium, never baked into the mesh.
+enum class ApStatus : std::uint8_t {
+  kUp,
+  kDown,
+};
+
+/// A region whose radio links are degraded (interference, partial power):
+/// every link with an endpoint inside suffers `extra_loss` on top of the
+/// medium's base loss probability.
+struct DegradedRegion {
+  geo::Polygon region;
+  double extra_loss = 0.0;
+  bool active = true;
+};
+
 struct NetworkConfig {
   mesh::PlacementConfig placement;
   BuildingGraphConfig graph;
@@ -178,6 +196,34 @@ class CityMeshNetwork {
   /// Mark every AP in a building as compromised (failure injection).
   void compromise_building(BuildingId building, AgentBehavior behavior);
 
+  // --- Dynamic fault state (src/faultx drives these over sim time) --------
+
+  /// Flip one AP up or down. Takes effect immediately: in-flight packets
+  /// addressed to a newly-down AP are dropped at delivery time.
+  void set_ap_status(mesh::ApId id, ApStatus status);
+  ApStatus ap_status(mesh::ApId id) const { return ap_status_.at(id); }
+  bool ap_up(mesh::ApId id) const { return ap_status_.at(id) == ApStatus::kUp; }
+  /// Number of APs currently up.
+  std::size_t aps_up() const { return aps_up_; }
+
+  /// The AP a device in `building` associates with: the representative
+  /// (closest-to-centroid) AP when it is up, otherwise the nearest live AP
+  /// of the building; nullopt when the building has no live AP.
+  std::optional<mesh::ApId> live_ap(BuildingId building) const;
+
+  /// Register a degraded-link region; returns a handle for (de)activation.
+  /// Membership is precomputed per AP, so the per-link lookup stays cheap.
+  std::size_t add_degraded_region(geo::Polygon region, double extra_loss);
+  void set_degraded_region_active(std::size_t handle, bool active);
+  const std::vector<DegradedRegion>& degraded_regions() const { return degraded_; }
+
+  /// Combined extra loss for one link from the active degraded regions
+  /// (independent events; 0 when the link avoids every region).
+  double extra_link_loss(mesh::ApId from, mesh::ApId to) const;
+
+  /// The broadcast medium (fault-injection tests read its counters).
+  sim::BroadcastMedium<MeshPacket>& medium() { return medium_; }
+
   /// Direct agent access for tests.
   ApAgent& agent(mesh::ApId id) { return agents_.at(id); }
 
@@ -202,6 +248,13 @@ class CityMeshNetwork {
   sim::BroadcastMedium<MeshPacket> medium_;
   std::vector<ApAgent> agents_;
   geo::Rng message_rng_;
+
+  // Fault state: per-AP status plus degraded-link regions with precomputed
+  // per-AP membership (aps are static, regions few).
+  std::vector<ApStatus> ap_status_;
+  std::size_t aps_up_ = 0;
+  std::vector<DegradedRegion> degraded_;
+  std::vector<std::vector<char>> degraded_members_;  ///< [region][ap] inside?
 
   // Registrations keyed by "id-hex@building"; primaries keep the first
   // registration per identity (the home postbox).

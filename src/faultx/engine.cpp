@@ -1,0 +1,52 @@
+#include "faultx/engine.hpp"
+
+namespace citymesh::faultx {
+
+void ScenarioEngine::apply(const FaultAction& action) {
+  ++applied_;
+  switch (action.kind) {
+    case FaultKind::kApDown:
+      net_->set_ap_status(action.ap, core::ApStatus::kDown);
+      break;
+    case FaultKind::kApUp:
+      net_->set_ap_status(action.ap, core::ApStatus::kUp);
+      break;
+    case FaultKind::kRegionDegrade: {
+      auto& handle = region_handles_.at(action.region);
+      if (handle) {
+        net_->set_degraded_region_active(*handle, true);
+      } else {
+        const auto& spec = compiled_.regions.at(action.region);
+        handle = net_->add_degraded_region(spec.region, spec.extra_loss);
+      }
+      break;
+    }
+    case FaultKind::kRegionRestore: {
+      const auto& handle = region_handles_.at(action.region);
+      if (handle) net_->set_degraded_region_active(*handle, false);
+      break;
+    }
+  }
+}
+
+void ScenarioEngine::install() {
+  sim::Simulator& sim = net_->simulator();
+  for (std::size_t i = cursor_; i < compiled_.actions.size(); ++i) {
+    const FaultAction& action = compiled_.actions[i];
+    if (action.time <= sim.now()) {
+      apply(action);
+    } else {
+      sim.schedule_at(action.time, [this, i] { apply(compiled_.actions[i]); });
+    }
+  }
+  cursor_ = compiled_.actions.size();
+}
+
+void ScenarioEngine::apply_until(sim::SimTime t) {
+  while (cursor_ < compiled_.actions.size() && compiled_.actions[cursor_].time <= t) {
+    apply(compiled_.actions[cursor_]);
+    ++cursor_;
+  }
+}
+
+}  // namespace citymesh::faultx

@@ -1,0 +1,31 @@
+// Scenario overlay rendering: the Fig-5/Fig-7 city render plus the disaster
+// state — outage polygons, dead APs, surviving links, and (optionally) the
+// route and rebroadcast trace of one delivery attempt skirting the blackout.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/network.hpp"
+#include "faultx/scenario.hpp"
+
+namespace citymesh::faultx {
+
+struct ScenarioRenderOptions {
+  double pixel_width = 1000.0;
+  bool draw_links = true;  ///< surviving AP-graph links (slow for huge cities)
+};
+
+/// Render the network's *current* fault state to an SVG file. `outages` are
+/// drawn as hatched overlay polygons (pass CompiledScenario::outage_regions
+/// and/or degraded-region polygons). When `trace` carries a send outcome
+/// collected with SendOptions::collect_trace, its planned route is drawn as
+/// a polyline through the waypoint buildings and its rebroadcasting APs are
+/// highlighted, so a detour around (or a failure at) the blackout edge is
+/// visible. Returns false on I/O failure.
+bool render_scenario_svg(const core::CityMeshNetwork& network,
+                         std::span<const geo::Polygon> outages,
+                         const core::SendOutcome* trace, const std::string& path,
+                         const ScenarioRenderOptions& options = {});
+
+}  // namespace citymesh::faultx

@@ -1,0 +1,148 @@
+#include "faultx/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "geo/rng.hpp"
+
+namespace citymesh::faultx {
+
+namespace {
+
+/// Exponential inter-arrival draw with the given mean (clamped away from 0
+/// so a degenerate mean cannot stall the expansion loop).
+sim::SimTime exponential(geo::Rng& rng, sim::SimTime mean_s) {
+  const double u = rng.uniform();  // [0, 1)
+  return std::max(1e-6, mean_s) * -std::log1p(-u);
+}
+
+/// APs whose position lies inside the polygon, in id order.
+std::vector<mesh::ApId> members_of(const geo::Polygon& region,
+                                   const mesh::ApNetwork& aps) {
+  std::vector<mesh::ApId> members;
+  const auto bounds = region.bounds();
+  for (const auto& ap : aps.aps()) {
+    if (bounds && !bounds->contains(ap.position)) continue;
+    if (region.contains(ap.position)) members.push_back(ap.id);
+  }
+  return members;
+}
+
+void expand_blackout(const BlackoutEvent& event, const mesh::ApNetwork& aps,
+                     geo::Rng& rng, CompiledScenario& out) {
+  std::vector<mesh::ApId> members = members_of(event.region, aps);
+  for (const mesh::ApId id : members) {
+    out.actions.push_back({event.at_s, FaultKind::kApDown, id, 0});
+  }
+  out.outage_regions.push_back(event.region);
+  if (!event.restore_at_s || members.empty()) return;
+
+  // Staged restoration: shuffle the members once, then bring stage g back at
+  // restore_at + g * interval. A single stage restores everything at once.
+  for (std::size_t i = members.size(); i > 1; --i) {
+    std::swap(members[i - 1], members[rng.uniform_int(i)]);
+  }
+  const std::size_t stages = std::max<std::size_t>(1, event.restore_stages);
+  const std::size_t per_stage = (members.size() + stages - 1) / stages;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::size_t stage = i / per_stage;
+    const sim::SimTime at =
+        *event.restore_at_s + static_cast<double>(stage) * event.stage_interval_s;
+    out.actions.push_back({at, FaultKind::kApUp, members[i], 0});
+  }
+}
+
+void expand_churn(const ChurnEvent& event, const mesh::ApNetwork& aps,
+                  geo::Rng& rng, CompiledScenario& out) {
+  const std::size_t n = aps.ap_count();
+  const auto count = static_cast<std::size_t>(
+      std::llround(std::clamp(event.ap_fraction, 0.0, 1.0) * static_cast<double>(n)));
+  if (count == 0 || event.end_s <= event.start_s) return;
+
+  // Sample `count` distinct APs (partial Fisher-Yates over the id range).
+  std::vector<mesh::ApId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<mesh::ApId>(i);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::swap(ids[i], ids[i + rng.uniform_int(n - i)]);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const mesh::ApId id = ids[i];
+    sim::SimTime t = event.start_s + exponential(rng, event.mean_up_s);
+    while (t < event.end_s) {
+      out.actions.push_back({t, FaultKind::kApDown, id, 0});
+      const sim::SimTime up_at =
+          std::min(t + exponential(rng, event.mean_down_s), event.end_s);
+      out.actions.push_back({up_at, FaultKind::kApUp, id, 0});
+      t = up_at + exponential(rng, event.mean_up_s);
+    }
+  }
+}
+
+void expand_brownout(const BrownoutEvent& event, const mesh::ApNetwork& aps,
+                     CompiledScenario& out) {
+  if (aps.ap_count() == 0 || event.duration_s <= 0.0) return;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& ap : aps.aps()) {
+    const double c = event.sweep_x ? ap.position.x : ap.position.y;
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  const double span = hi - lo;
+  const double half = event.front_width_m * 0.5;
+  const sim::SimTime end = event.start_s + event.duration_s;
+  for (const auto& ap : aps.aps()) {
+    const double c = event.sweep_x ? ap.position.x : ap.position.y;
+    // Front position moves lo -> hi linearly over the duration; the AP is
+    // dead while |c - front| <= half. Degenerate span: one simultaneous dip.
+    sim::SimTime t_down = event.start_s;
+    sim::SimTime t_up = end;
+    if (span > 0.0) {
+      t_down = event.start_s + (c - half - lo) / span * event.duration_s;
+      t_up = event.start_s + (c + half - lo) / span * event.duration_s;
+      t_down = std::clamp(t_down, event.start_s, end);
+      t_up = std::clamp(t_up, event.start_s, end);
+      if (t_up <= t_down) continue;  // front never covers this AP
+    }
+    out.actions.push_back({t_down, FaultKind::kApDown, ap.id, 0});
+    out.actions.push_back({t_up, FaultKind::kApUp, ap.id, 0});
+  }
+}
+
+}  // namespace
+
+CompiledScenario compile(const Scenario& scenario, const mesh::ApNetwork& aps) {
+  CompiledScenario out;
+  out.name = scenario.name;
+  geo::Rng rng{scenario.seed};
+
+  for (const auto& event : scenario.blackouts) expand_blackout(event, aps, rng, out);
+  for (const auto& event : scenario.churn) expand_churn(event, aps, rng, out);
+  for (const auto& event : scenario.brownouts) expand_brownout(event, aps, out);
+  for (const auto& event : scenario.degraded_links) {
+    const auto region = static_cast<std::uint32_t>(out.regions.size());
+    out.regions.push_back({event.region, event.extra_loss});
+    out.actions.push_back({event.start_s, FaultKind::kRegionDegrade, 0, region});
+    out.actions.push_back({event.end_s, FaultKind::kRegionRestore, 0, region});
+  }
+
+  std::stable_sort(out.actions.begin(), out.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.time < b.time;
+                   });
+
+  std::unordered_set<mesh::ApId> touched;
+  for (const FaultAction& action : out.actions) {
+    out.horizon_s = std::max(out.horizon_s, action.time);
+    if (action.kind == FaultKind::kApDown || action.kind == FaultKind::kApUp) {
+      touched.insert(action.ap);
+    }
+  }
+  out.aps_affected = touched.size();
+  return out;
+}
+
+}  // namespace citymesh::faultx

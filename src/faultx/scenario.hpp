@@ -1,0 +1,128 @@
+// Disaster scenarios: scripted, time-varying AP failures (src/faultx).
+//
+// The paper's premise is that CityMesh is a *fallback* for when
+// infrastructure fails (§1), yet the base simulator evaluates static,
+// fully-healthy meshes. This module makes the failure itself first-class: a
+// `Scenario` is a declarative script of fault events — regional blackouts
+// with staged restoration, random up/down churn, a rolling brownout front,
+// degraded-link regions — that `compile()` expands into a deterministic,
+// time-sorted timeline of atomic `FaultAction`s against a concrete AP
+// placement. The engine (engine.hpp) then feeds that timeline into the
+// discrete-event simulation, either live (scheduled into the simulator) or
+// as a checkpoint cursor for scenario evaluation (scenario_eval.hpp).
+//
+// Everything stochastic (churn inter-arrival times, restoration-stage
+// assignment) draws from one geo::Rng seeded by Scenario::seed, so the same
+// scenario against the same mesh always yields the identical timeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "mesh/ap_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace citymesh::faultx {
+
+// --------------------------------------------------------------- events ---
+
+/// A power-outage polygon: every AP inside goes down at `at_s`. With
+/// `restore_at_s` set, the affected APs come back in `restore_stages`
+/// shuffled groups, one group every `stage_interval_s` (grid operators
+/// restore feeders one by one, not a whole district at once).
+struct BlackoutEvent {
+  geo::Polygon region;
+  sim::SimTime at_s = 0.0;
+  std::optional<sim::SimTime> restore_at_s;
+  std::size_t restore_stages = 1;
+  sim::SimTime stage_interval_s = 60.0;
+};
+
+/// Random per-AP flapping: a sampled fraction of APs alternates exponential
+/// up/down periods inside [start_s, end_s] (brownouts, overloaded circuits,
+/// people power-cycling routers). The window closes with every affected AP
+/// restored, so churn composes cleanly with other events.
+struct ChurnEvent {
+  double ap_fraction = 0.1;
+  sim::SimTime mean_up_s = 300.0;
+  sim::SimTime mean_down_s = 120.0;
+  sim::SimTime start_s = 0.0;
+  sim::SimTime end_s = 600.0;
+};
+
+/// A rolling outage front: a dead band of width `front_width_m` sweeps the
+/// mesh's extent along one axis over [start_s, start_s + duration_s]. APs go
+/// down as the front reaches them and come back once it has passed (a
+/// cascading grid failure that restores behind itself).
+struct BrownoutEvent {
+  bool sweep_x = true;  ///< front moves along x (a vertical line); else y
+  double front_width_m = 150.0;
+  sim::SimTime start_s = 0.0;
+  sim::SimTime duration_s = 300.0;
+};
+
+/// Degraded-link mode: links with an endpoint inside the region suffer
+/// `extra_loss` on top of the medium's base loss within [start_s, end_s]
+/// (interference, partial power, storm conditions).
+struct DegradedLinkEvent {
+  geo::Polygon region;
+  double extra_loss = 0.3;
+  sim::SimTime start_s = 0.0;
+  sim::SimTime end_s = 600.0;
+};
+
+/// A declarative disaster script. Deterministic in (scenario, mesh): all
+/// randomness comes from `seed`.
+struct Scenario {
+  std::string name = "scenario";
+  std::vector<BlackoutEvent> blackouts;
+  std::vector<ChurnEvent> churn;
+  std::vector<BrownoutEvent> brownouts;
+  std::vector<DegradedLinkEvent> degraded_links;
+  std::uint64_t seed = 2024;
+};
+
+// ------------------------------------------------------ compiled timeline ---
+
+enum class FaultKind : std::uint8_t {
+  kApDown,
+  kApUp,
+  kRegionDegrade,  ///< activate degraded-link region `region`
+  kRegionRestore,  ///< deactivate it
+};
+
+/// One atomic state change at one instant of simulated time.
+struct FaultAction {
+  sim::SimTime time = 0.0;
+  FaultKind kind = FaultKind::kApDown;
+  mesh::ApId ap = 0;          ///< kApDown / kApUp
+  std::uint32_t region = 0;   ///< index into CompiledScenario::regions
+};
+
+/// A degraded-link region referenced by the timeline.
+struct DegradedRegionSpec {
+  geo::Polygon region;
+  double extra_loss = 0.0;
+};
+
+/// The fully-expanded, time-sorted timeline for one scenario against one AP
+/// placement. Equal-time actions keep their expansion order (stable sort),
+/// so replaying the timeline is deterministic event by event.
+struct CompiledScenario {
+  std::string name;
+  std::vector<FaultAction> actions;
+  std::vector<DegradedRegionSpec> regions;
+  /// Outage polygons (blackout regions) retained for rendering overlays.
+  std::vector<geo::Polygon> outage_regions;
+  sim::SimTime horizon_s = 0.0;     ///< time of the last action
+  std::size_t aps_affected = 0;     ///< distinct APs the timeline touches
+};
+
+/// Expand a scenario against a concrete placement. Deterministic: the same
+/// (scenario, mesh) pair always produces the identical action list.
+CompiledScenario compile(const Scenario& scenario, const mesh::ApNetwork& aps);
+
+}  // namespace citymesh::faultx

@@ -1,0 +1,29 @@
+#include "faultx/scenario_eval.hpp"
+
+#include "faultx/engine.hpp"
+
+namespace citymesh::faultx {
+
+ScenarioTrace evaluate_scenario(core::CityMeshNetwork& network,
+                                const Scenario& scenario,
+                                const ScenarioEvalConfig& config) {
+  ScenarioEngine engine{network, scenario};
+
+  ScenarioTrace trace;
+  trace.scenario = engine.scenario().name;
+  trace.actions_total = engine.scenario().actions.size();
+  trace.aps_affected = engine.scenario().aps_affected;
+
+  std::vector<sim::SimTime> checkpoints = config.checkpoints;
+  if (checkpoints.empty()) checkpoints.push_back(0.0);
+
+  for (const sim::SimTime at : checkpoints) {
+    engine.apply_until(at);
+    core::NetworkSnapshot snap = core::evaluate_snapshot(network, config.snapshot);
+    snap.at_s = at;  // report scenario time, not drifting simulator time
+    trace.snapshots.push_back(snap);
+  }
+  return trace;
+}
+
+}  // namespace citymesh::faultx

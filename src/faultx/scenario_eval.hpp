@@ -1,0 +1,42 @@
+// Checkpointed scenario evaluation: how routing degrades — and recovers —
+// while a disaster unfolds.
+//
+// Replays the Fig-6 reachability/deliverability protocol
+// (core::evaluate_snapshot) at a series of scenario times. Between
+// checkpoints the fault timeline advances via the engine's cursor; during a
+// checkpoint the fault state is frozen so the measurement reads one
+// consistent network (each measurement send advances simulated time, and
+// letting installed fault events fire mid-measurement would smear the
+// scenario across it). The snapshot seed is fixed across checkpoints, so
+// every checkpoint re-measures the same building pairs — the curves show the
+// scenario's effect, not sampling noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "faultx/scenario.hpp"
+
+namespace citymesh::faultx {
+
+struct ScenarioEvalConfig {
+  /// Scenario times to measure at, ascending. Empty = measure only at t=0.
+  std::vector<sim::SimTime> checkpoints;
+  core::SnapshotConfig snapshot;
+};
+
+struct ScenarioTrace {
+  std::string scenario;
+  std::size_t actions_total = 0;    ///< compiled timeline length
+  std::size_t aps_affected = 0;     ///< distinct APs the scenario touches
+  std::vector<core::NetworkSnapshot> snapshots;  ///< one per checkpoint
+};
+
+/// Run the scenario against the network, measuring at each checkpoint.
+/// Deterministic in (network seeds, scenario seed, snapshot seed).
+ScenarioTrace evaluate_scenario(core::CityMeshNetwork& network,
+                                const Scenario& scenario,
+                                const ScenarioEvalConfig& config);
+
+}  // namespace citymesh::faultx

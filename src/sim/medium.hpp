@@ -4,6 +4,13 @@
 // topology graph after transmission + propagation delay, each independently
 // subject to a loss probability. The medium is templated on the packet type
 // so the CityMesh agent and every baseline protocol reuse it.
+//
+// The topology is the *potential* connectivity; whether a link works right
+// now is decided live. Two optional hooks support time-varying failures
+// (src/faultx): a node filter (a down node neither transmits nor receives —
+// reception is checked at delivery time, so a node that fails while a packet
+// is in flight still misses it) and a per-link extra-loss function
+// (regional interference / degraded-link scenarios).
 #pragma once
 
 #include <functional>
@@ -36,17 +43,40 @@ class BroadcastMedium {
  public:
   /// Called on delivery: (receiver, sender, packet).
   using DeliveryFn = std::function<void(NodeId, NodeId, const std::shared_ptr<const Packet>&)>;
+  /// True when the node is currently up (may change between calls).
+  using NodeUpFn = std::function<bool(NodeId)>;
+  /// Extra per-link loss probability (0 = pristine), combined independently
+  /// with the config's base loss_probability.
+  using LinkLossFn = std::function<double(NodeId from, NodeId to)>;
 
   BroadcastMedium(Simulator& simulator, const graphx::Graph& topology, MediumConfig config)
       : sim_(simulator), topology_(topology), config_(config), rng_(config.seed) {}
 
   void set_delivery_handler(DeliveryFn fn) { deliver_ = std::move(fn); }
 
+  /// Install a live node filter: a down node neither transmits nor receives.
+  /// Pass nullptr to clear (all nodes up).
+  void set_node_filter(NodeUpFn fn) { node_up_ = std::move(fn); }
+
+  /// Install a live per-link extra-loss function. Pass nullptr to clear.
+  void set_link_loss(LinkLossFn fn) { link_loss_ = std::move(fn); }
+
+  bool node_up(NodeId node) const { return !node_up_ || node_up_(node); }
+
   /// Broadcast `packet` from `from` to all topology neighbors.
   void transmit(NodeId from, std::shared_ptr<const Packet> packet) {
+    if (!node_up(from)) {
+      ++blocked_transmissions_;
+      return;
+    }
     ++transmissions_;
     for (const graphx::Edge& link : topology_.neighbors(from)) {
-      if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+      double loss = config_.loss_probability;
+      if (link_loss_) {
+        const double extra = link_loss_(from, link.to);
+        if (extra > 0.0) loss = 1.0 - (1.0 - loss) * (1.0 - extra);
+      }
+      if (loss > 0.0 && rng_.chance(loss)) {
         ++losses_;
         continue;
       }
@@ -55,6 +85,12 @@ class BroadcastMedium {
                             (config_.jitter_s > 0.0 ? rng_.uniform(0.0, config_.jitter_s) : 0.0);
       const NodeId to = link.to;
       sim_.schedule_in(delay, [this, to, from, packet] {
+        // Receiver status is sampled at delivery time: a node that went down
+        // while the packet was in flight misses it.
+        if (!node_up(to)) {
+          ++blocked_receptions_;
+          return;
+        }
         ++deliveries_;
         if (deliver_) deliver_(to, from, packet);
       });
@@ -66,8 +102,15 @@ class BroadcastMedium {
   /// Per-link deliveries (each broadcast fans out to its neighbors).
   std::size_t deliveries() const { return deliveries_; }
   std::size_t losses() const { return losses_; }
+  /// Broadcasts swallowed because the transmitter was down.
+  std::size_t blocked_transmissions() const { return blocked_transmissions_; }
+  /// In-flight deliveries dropped because the receiver was down.
+  std::size_t blocked_receptions() const { return blocked_receptions_; }
 
-  void reset_counters() { transmissions_ = deliveries_ = losses_ = 0; }
+  void reset_counters() {
+    transmissions_ = deliveries_ = losses_ = 0;
+    blocked_transmissions_ = blocked_receptions_ = 0;
+  }
 
  private:
   Simulator& sim_;
@@ -75,9 +118,13 @@ class BroadcastMedium {
   MediumConfig config_;
   geo::Rng rng_;
   DeliveryFn deliver_;
+  NodeUpFn node_up_;
+  LinkLossFn link_loss_;
   std::size_t transmissions_ = 0;
   std::size_t deliveries_ = 0;
   std::size_t losses_ = 0;
+  std::size_t blocked_transmissions_ = 0;
+  std::size_t blocked_receptions_ = 0;
 };
 
 }  // namespace citymesh::sim

@@ -19,7 +19,7 @@ geo::Point SvgScene::to_pixels(geo::Point world) const {
 
 void SvgScene::add_polygon(const geo::Polygon& poly, const std::string& fill,
                            const std::string& stroke, double stroke_width,
-                           double opacity) {
+                           double opacity, const std::string& dash) {
   std::ostringstream os;
   os << "<polygon points=\"";
   for (const geo::Point v : poly.vertices()) {
@@ -27,7 +27,21 @@ void SvgScene::add_polygon(const geo::Polygon& poly, const std::string& fill,
     os << p.x << ',' << p.y << ' ';
   }
   os << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\" stroke-width=\""
-     << stroke_width << "\" opacity=\"" << opacity << "\"/>";
+     << stroke_width << "\" opacity=\"" << opacity << "\"";
+  if (!dash.empty()) os << " stroke-dasharray=\"" << dash << "\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgScene::add_cross(geo::Point center, double radius_px, const std::string& stroke,
+                         double width_px, double opacity) {
+  const geo::Point p = to_pixels(center);
+  std::ostringstream os;
+  os << "<path d=\"M" << p.x - radius_px << ' ' << p.y - radius_px << " L"
+     << p.x + radius_px << ' ' << p.y + radius_px << " M" << p.x - radius_px << ' '
+     << p.y + radius_px << " L" << p.x + radius_px << ' ' << p.y - radius_px
+     << "\" stroke=\"" << stroke << "\" stroke-width=\"" << width_px
+     << "\" opacity=\"" << opacity << "\"/>";
   elements_.push_back(os.str());
 }
 

@@ -17,11 +17,15 @@ class SvgScene {
   /// `world` is the visible region in meters; `pixel_width` sets the scale.
   SvgScene(geo::Rect world, double pixel_width = 1000.0);
 
+  /// `dash` is an SVG stroke-dasharray (e.g. "6 3"); empty = solid stroke.
   void add_polygon(const geo::Polygon& poly, const std::string& fill,
                    const std::string& stroke = "none", double stroke_width = 0.0,
-                   double opacity = 1.0);
+                   double opacity = 1.0, const std::string& dash = "");
   void add_circle(geo::Point center, double radius_px, const std::string& fill,
                   double opacity = 1.0);
+  /// An x-shaped marker (dead APs in scenario overlays).
+  void add_cross(geo::Point center, double radius_px, const std::string& stroke,
+                 double width_px = 1.0, double opacity = 1.0);
   void add_line(geo::Point a, geo::Point b, const std::string& stroke,
                 double width_px = 1.0, double opacity = 1.0);
   void add_polyline(const std::vector<geo::Point>& points, const std::string& stroke,

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: configure, build, run the full test suite.
+# Exits nonzero on the first failure — the entry point a CI workflow calls.
+#
+# Usage: tools/check.sh [build-dir] [extra cmake args...]
+#   tools/check.sh                       # default build/ tree
+#   tools/check.sh build-asan -DCITYMESH_SANITIZE=ON
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+[ $# -gt 0 ] && shift
+
+cmake -B "${build_dir}" -S "${repo_root}" "$@"
+cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

@@ -7,6 +7,7 @@
 //   render <city> <out.svg>      render footprints + AP mesh
 //   islands <city> [--bridge]    island analysis, optionally plan bridges
 //   send <city> <from> <to>      simulate one end-to-end sealed message
+//   scenario <city> [opts]       replay a disaster scenario (src/faultx)
 //
 // Common options:
 //   --range METERS        transmission range        (default 50)
@@ -18,15 +19,28 @@
 //   --suppression         enable same-building rebroadcast suppression
 //   --shadowed            use the shadowed link model instead of the disc
 //   --osm FILE            load an OSM XML extract instead of a profile
+//
+// Scenario options:
+//   --spec FILE           scenario spec (see src/faultx/spec.hpp); without
+//                         it a demo downtown blackout with staged
+//                         restoration runs
+//   --svg FILE            render the worst checkpoint's fault state + one
+//                         traced delivery attempt
 #include <algorithm>
 #include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/evaluation.hpp"
+#include "faultx/engine.hpp"
+#include "faultx/render.hpp"
+#include "faultx/scenario_eval.hpp"
+#include "faultx/spec.hpp"
 #include "geo/stats.hpp"
 #include "cryptox/sealed.hpp"
 #include "measure/survey.hpp"
@@ -51,6 +65,8 @@ struct Options {
   bool suppression = false;
   bool shadowed = false;
   std::string osm_file;
+  std::string spec_file;
+  std::string svg_file;
   std::vector<std::string> positional;
 };
 
@@ -63,8 +79,10 @@ int usage() {
       "  render <city> <out.svg>    footprints + AP mesh render\n"
       "  islands <city> [--bridge]  island analysis / gap bridging\n"
       "  send <city> <from> <to>    one sealed end-to-end message\n"
+      "  scenario <city>            replay a disaster scenario (faultx)\n"
       "options: --range M --density M2 --width M --pairs N --deliver N\n"
-      "         --seed N --suppression --shadowed --osm FILE\n";
+      "         --seed N --suppression --shadowed --osm FILE\n"
+      "         --spec FILE --svg FILE (scenario)\n";
   return 2;
 }
 
@@ -118,6 +136,14 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       const auto v = next();
       if (!v) return std::nullopt;
       opts.osm_file = *v;
+    } else if (arg == "--spec") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.spec_file = *v;
+    } else if (arg == "--svg") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.svg_file = *v;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << '\n';
       return std::nullopt;
@@ -321,6 +347,139 @@ int cmd_send(const Options& opts) {
   return outcome.delivered ? 0 : 1;
 }
 
+// The demo disaster when no --spec is given: a blackout over the downtown
+// core at t=10 s, restored feeder-by-feeder in 3 stages starting at t=300 s.
+faultx::ParsedScenario demo_scenario(const osmx::City& city) {
+  geo::Rect core{};
+  bool have_core = false;
+  for (const auto& region : city.regions()) {
+    if (region.type == osmx::AreaType::kDowntown) {
+      core = region.bounds;
+      have_core = true;
+      break;
+    }
+  }
+  if (!have_core) {
+    const geo::Rect& e = city.extent();
+    core = {{e.min.x + e.width() * 0.25, e.min.y + e.height() * 0.25},
+            {e.max.x - e.width() * 0.25, e.max.y - e.height() * 0.25}};
+  }
+  faultx::ParsedScenario parsed;
+  parsed.scenario.name = "demo-downtown-blackout";
+  faultx::BlackoutEvent blackout;
+  blackout.region = geo::Polygon::rectangle(core);
+  blackout.at_s = 10.0;
+  blackout.restore_at_s = 300.0;
+  blackout.restore_stages = 3;
+  blackout.stage_interval_s = 60.0;
+  parsed.scenario.blackouts.push_back(std::move(blackout));
+  parsed.checkpoints = {0.0, 30.0, 120.0, 300.0, 360.0, 420.0, 480.0};
+  return parsed;
+}
+
+int cmd_scenario(const Options& opts) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+
+  faultx::ParsedScenario parsed;
+  if (!opts.spec_file.empty()) {
+    std::ifstream file{opts.spec_file};
+    if (!file) {
+      std::cerr << "cannot open " << opts.spec_file << '\n';
+      return 1;
+    }
+    std::string error;
+    const auto spec = faultx::parse_scenario(file, &error);
+    if (!spec) {
+      std::cerr << opts.spec_file << ": " << error << '\n';
+      return 1;
+    }
+    parsed = *spec;
+  } else {
+    parsed = demo_scenario(*city);
+  }
+  if (parsed.checkpoints.empty()) parsed.checkpoints = {0.0};
+
+  faultx::ScenarioEvalConfig cfg;
+  cfg.checkpoints = parsed.checkpoints;
+  cfg.snapshot.pairs = opts.pairs;
+  cfg.snapshot.deliver_pairs = opts.deliver;
+
+  core::CityMeshNetwork network{*city, network_config(opts)};
+  const auto trace = faultx::evaluate_scenario(network, parsed.scenario, cfg);
+
+  std::cout << "scenario '" << trace.scenario << "' on " << city->name() << ": "
+            << trace.actions_total << " fault actions over " << trace.aps_affected
+            << " APs\n";
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& snap : trace.snapshots) {
+    rows.push_back({viz::fmt(snap.at_s, 0) + " s",
+                    std::to_string(snap.aps_up) + "/" + std::to_string(snap.aps_total),
+                    viz::fmt(snap.up_fraction(), 3), viz::fmt(snap.reachability(), 3),
+                    viz::fmt(snap.deliverability(), 3),
+                    std::to_string(snap.rescues_succeeded) + "/" +
+                        std::to_string(snap.rescues_attempted),
+                    viz::fmt(snap.deliverability_with_rescue(), 3)});
+  }
+  viz::print_table(std::cout, "Checkpoint replay: " + trace.scenario,
+                   {"t", "APs up", "up frac", "reach", "deliver", "rescued",
+                    "deliver+rescue"},
+                   rows);
+
+  if (opts.svg_file.empty()) return 0;
+
+  // Render the *worst* checkpoint (fewest live APs) on a fresh network: the
+  // evaluation above left this one at the end of the timeline, typically
+  // after restoration.
+  sim::SimTime worst_t = 0.0;
+  std::size_t worst_up = std::numeric_limits<std::size_t>::max();
+  for (const auto& snap : trace.snapshots) {
+    if (snap.aps_up < worst_up) {
+      worst_up = snap.aps_up;
+      worst_t = snap.at_s;
+    }
+  }
+  core::CityMeshNetwork frame{*city, network_config(opts)};
+  faultx::ScenarioEngine engine{frame, parsed.scenario};
+  engine.apply_until(worst_t);
+
+  // One traced delivery across the city: west-most to east-most building
+  // that still has a live AP.
+  std::optional<osmx::BuildingId> west, east;
+  for (const auto& b : city->buildings()) {
+    if (!frame.live_ap(b.id)) continue;
+    if (!west || b.centroid.x < city->building(*west).centroid.x) west = b.id;
+    if (!east || b.centroid.x > city->building(*east).centroid.x) east = b.id;
+  }
+  const core::SendOutcome* outcome_ptr = nullptr;
+  core::SendOutcome outcome;
+  if (west && east && *west != *east) {
+    const auto bob = cryptox::KeyPair::from_seed(opts.seed + 2);
+    const auto info = core::PostboxInfo::for_key(bob, *east);
+    if (frame.register_postbox(info)) {
+      static constexpr std::string_view kPayload = "scenario trace";
+      core::SendOptions send_opts;
+      send_opts.collect_trace = true;
+      outcome = frame.send(
+          *west, info,
+          {reinterpret_cast<const std::uint8_t*>(kPayload.data()), kPayload.size()},
+          send_opts);
+      outcome_ptr = &outcome;
+    }
+  }
+  if (!faultx::render_scenario_svg(frame, engine.scenario().outage_regions,
+                                   outcome_ptr, opts.svg_file)) {
+    std::cerr << "cannot write " << opts.svg_file << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << opts.svg_file << " (t=" << viz::fmt(worst_t, 0) << " s, "
+            << frame.aps_up() << "/" << frame.aps().ap_count() << " APs up, trace "
+            << (outcome_ptr ? (outcome.delivered ? "delivered" : "not delivered")
+                            : "skipped")
+            << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -339,5 +498,6 @@ int main(int argc, char** argv) {
     return cmd_islands(*opts, bridge);
   }
   if (cmd == "send") return cmd_send(*opts);
+  if (cmd == "scenario") return cmd_scenario(*opts);
   return usage();
 }
