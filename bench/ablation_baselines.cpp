@@ -27,9 +27,12 @@ namespace routing = citymesh::routing;
 namespace viz = citymesh::viz;
 namespace cryptox = citymesh::cryptox;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_baselines", argc, argv};
   std::cout << "CityMesh baseline comparison (same mesh, same pairs)\n";
   const auto city = citymesh::benchutil::ablation_city();
+  emit.manifest().city = city.name();
+  emit.manifest().seeds["pair_rng"] = 2025;
   core::NetworkConfig net_cfg;
   core::CityMeshNetwork net{city, net_cfg};
   const auto& aps = net.aps();
@@ -116,17 +119,22 @@ int main() {
     return r;
   };
 
+  const std::vector<std::vector<std::string>> rows{
+      row("citymesh (conduit flood)", citymesh_t), row("flood", flood_t),
+      row("greedy geographic", greedy_t), row("aodv (reactive)", aodv_t)};
   viz::print_table(std::cout,
                    "Baselines over " + std::to_string(done) + " reachable pairs (" +
                        std::to_string(aps.ap_count()) + " APs)",
                    {"protocol", "delivery rate", "data tx (med)", "control tx (med)"},
-                   {row("citymesh (conduit flood)", citymesh_t), row("flood", flood_t),
-                    row("greedy geographic", greedy_t), row("aodv (reactive)", aodv_t)});
+                   rows);
+  citymesh::benchutil::digest_rows(emit, rows);
+  emit.manifest().set_param("pairs", static_cast<std::uint64_t>(done));
+  emit.add_metrics(net.metrics().snapshot());
 
   std::cout << "\nExpected shape: flood delivers everything at the highest data\n"
             << "cost; greedy is cheapest but drops pairs at dead ends; AODV's\n"
             << "data path is optimal but its control burst is component-sized;\n"
             << "CityMesh delivers nearly everything with zero control packets\n"
             << "and data cost far below flood.\n";
-  return 0;
+  return emit.finish();
 }

@@ -10,6 +10,7 @@
 // control transmissions, with per-node state being the static map cache.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "mesh/ap_network.hpp"
 #include "osmx/citygen.hpp"
 #include "routing/control_overhead.hpp"
@@ -31,9 +32,12 @@ std::string engineering(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_control_scaling", argc, argv};
   std::cout << "CityMesh - control-plane load vs city size (the §5 argument)\n"
             << "proactive: 5 s update interval; reactive: 2 discoveries/node/hour\n";
+  emit.manifest().city = "scale-sweep";
+  emit.manifest().seeds["city"] = 42;
 
   std::vector<std::vector<std::string>> rows;
   for (const double km : {0.5, 1.0, 2.0, 3.0}) {
@@ -64,11 +68,12 @@ int main() {
                    {"city", "APs", "proactive tx/h", "reactive tx/h", "citymesh tx/h",
                     "proactive state", "citymesh state"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\n(* square city of that side length)\n"
             << "Expected shape: proactive load grows ~quadratically with AP count\n"
             << "(every node floods every interval), reactive linearly in the\n"
             << "session rate but with component-sized bursts; CityMesh stays at\n"
             << "zero - its only per-node state is the static building map, which\n"
             << "grows with the *city*, not with the number of radios.\n";
-  return 0;
+  return emit.finish();
 }

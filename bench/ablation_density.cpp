@@ -9,15 +9,18 @@
 namespace core = citymesh::core;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_density", argc, argv};
   std::cout << "CityMesh ablation - AP density sweep\n";
   const auto city = citymesh::benchutil::ablation_city();
+  emit.manifest().city = city.name();
 
   std::vector<std::vector<std::string>> rows;
   for (const double m2_per_ap : {800.0, 400.0, 200.0, 100.0, 50.0}) {
     auto cfg = citymesh::benchutil::sweep_config();
     cfg.network.placement.density_per_m2 = 1.0 / m2_per_ap;
     const auto eval = core::evaluate_city(city, cfg);
+    emit.add_metrics(eval.metrics);
     rows.push_back({"1/" + viz::fmt(m2_per_ap, 0) + " m^2", std::to_string(eval.aps),
                     std::to_string(eval.ap_islands), viz::fmt(eval.reachability(), 3),
                     viz::fmt(eval.deliverability(), 3),
@@ -28,9 +31,10 @@ int main() {
   viz::print_table(std::cout, "AP density ablation (ablation-town)",
                    {"density", "APs", "islands", "reach", "deliver", "overhead(med)"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nExpected shape: reachability collapses below a percolation-like\n"
             << "density threshold (many islands); above it, extra density mainly\n"
             << "buys overhead (more in-conduit APs rebroadcast). The paper's\n"
             << "1/200 m^2 sits above the threshold for contiguous fabric.\n";
-  return 0;
+  return emit.finish();
 }

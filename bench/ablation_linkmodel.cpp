@@ -8,6 +8,7 @@
 // the cities where the disc model's percolation cliff bites hardest.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/evaluation.hpp"
 #include "osmx/citygen.hpp"
 #include "viz/ascii.hpp"
@@ -17,19 +18,27 @@ namespace osmx = citymesh::osmx;
 namespace mesh = citymesh::mesh;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_linkmodel", argc, argv};
   std::cout << "CityMesh ablation - disc vs shadowed link model\n";
 
   core::EvaluationConfig cfg;
   cfg.reachability_pairs = 400;
   cfg.deliverability_pairs = 25;
+  emit.manifest().set_param("reachability_pairs",
+                            static_cast<std::uint64_t>(cfg.reachability_pairs));
+  emit.manifest().set_param("deliverability_pairs",
+                            static_cast<std::uint64_t>(cfg.deliverability_pairs));
 
   std::vector<std::vector<std::string>> rows;
   for (const std::string name : {"san_francisco", "seattle", "boston"}) {
-    const auto city = osmx::generate_city(osmx::profile_by_name(name));
+    const auto profile = osmx::profile_by_name(name);
+    emit.manifest().seeds[name] = profile.seed;
+    const auto city = osmx::generate_city(profile);
     for (const auto model : {mesh::LinkModel::kDisc, mesh::LinkModel::kShadowed}) {
       cfg.network.placement.link_model = model;
       const auto eval = core::evaluate_city(city, cfg);
+      emit.add_metrics(eval.metrics);
       rows.push_back({name, model == mesh::LinkModel::kDisc ? "disc" : "shadowed",
                       viz::fmt(eval.reachability(), 3),
                       viz::fmt(eval.deliverability(), 3),
@@ -40,9 +49,10 @@ int main() {
 
   viz::print_table(std::cout, "Link-model ablation (range 50 m, 1 AP/200 m^2)",
                    {"city", "model", "reach", "deliver", "overhead(med)"}, rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nExpected shape: shadowing raises deliverability on the cities\n"
             << "where disc-model failures were 51-56 m near-miss street gaps\n"
             << "(san_francisco, seattle) - evidence the conservative cutoff, not\n"
             << "the routing algorithm, caused those losses.\n";
-  return 0;
+  return emit.finish();
 }

@@ -13,15 +13,18 @@
 namespace core = citymesh::core;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_loss", argc, argv};
   std::cout << "CityMesh robustness - deliverability vs link loss\n";
   const auto city = citymesh::benchutil::ablation_city();
+  emit.manifest().city = city.name();
 
   std::vector<std::vector<std::string>> rows;
   for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.30, 0.50}) {
     auto cfg = citymesh::benchutil::sweep_config();
     cfg.network.medium.loss_probability = loss;
     const auto eval = core::evaluate_city(city, cfg);
+    emit.add_metrics(eval.metrics);
     // A 20-hop unicast path at this loss rate, for contrast.
     const double unicast20 = std::pow(1.0 - loss, 20);
     rows.push_back({viz::fmt(loss * 100, 0) + "%", viz::fmt(eval.deliverability(), 2),
@@ -33,9 +36,10 @@ int main() {
   viz::print_table(std::cout, "Link-loss sweep (ablation-town)",
                    {"per-link loss", "conduit deliver", "20-hop unicast", "overhead(med)"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nExpected shape: the conduit flood holds near-baseline delivery\n"
             << "through 20-30% loss while an un-retransmitted 20-hop unicast path\n"
             << "would already be hopeless - the redundancy the paper buys with\n"
             << "its 13x transmission overhead.\n";
-  return 0;
+  return emit.finish();
 }

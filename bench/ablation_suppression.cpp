@@ -15,9 +15,11 @@
 namespace core = citymesh::core;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_suppression", argc, argv};
   std::cout << "CityMesh ablation - same-building rebroadcast suppression\n";
   const auto city = citymesh::benchutil::ablation_city();
+  emit.manifest().city = city.name();
 
   std::vector<std::vector<std::string>> rows;
   for (const double m2_per_ap : {200.0, 100.0, 50.0}) {
@@ -28,6 +30,7 @@ int main() {
       cfg.network.placement.density_per_m2 = 1.0 / m2_per_ap;
       cfg.network.building_suppression = suppressed == 1;
       const auto eval = core::evaluate_city(city, cfg);
+      emit.add_metrics(eval.metrics);
       deliver[suppressed] = eval.deliverability();
       overhead[suppressed] = eval.overheads.empty() ? 0.0 : eval.median_overhead();
     }
@@ -44,9 +47,10 @@ int main() {
                    {"density", "deliver", "overhead", "deliver(sup)", "overhead(sup)",
                     "saving"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nExpected shape: suppression cuts overhead progressively more as\n"
             << "density grows (more same-building duplicates), with deliverability\n"
             << "essentially unchanged - implementing the reduction the paper\n"
             << "anticipates.\n";
-  return 0;
+  return emit.finish();
 }

@@ -27,9 +27,12 @@ const char* name_of(core::EdgeWeight w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_weights", argc, argv};
   std::cout << "CityMesh ablation - edge-weight policy sweep\n";
   const auto city = citymesh::benchutil::ablation_city();
+  emit.manifest().city = city.name();
+  emit.manifest().set_param("connect_factor", 1.3);
 
   std::vector<std::vector<std::string>> rows;
   for (const auto weight :
@@ -41,6 +44,7 @@ int main() {
     // cubed weights reliably avoid.
     cfg.network.graph.connect_factor = 1.3;
     const auto eval = core::evaluate_city(city, cfg);
+    emit.add_metrics(eval.metrics);
     rows.push_back({name_of(weight), viz::fmt(eval.reachability(), 3),
                     viz::fmt(eval.deliverability(), 3),
                     eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1),
@@ -52,8 +56,9 @@ int main() {
   viz::print_table(std::cout, "Edge-weight ablation (ablation-town, connect_factor 1.3)",
                    {"weights", "reach", "deliver", "overhead(med)", "hdr bits(med)"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nExpected shape: cubed >= squared >= linear on deliverability;\n"
             << "reachability is identical (it is a property of the AP mesh, not\n"
             << "the route planner).\n";
-  return 0;
+  return emit.finish();
 }

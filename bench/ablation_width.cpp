@@ -12,15 +12,18 @@
 namespace core = citymesh::core;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"ablation_width", argc, argv};
   std::cout << "CityMesh ablation - conduit width W sweep\n";
   const auto city = citymesh::benchutil::ablation_city();
+  emit.manifest().city = city.name();
 
   std::vector<std::vector<std::string>> rows;
   for (const double width : {10.0, 20.0, 30.0, 50.0, 80.0, 120.0}) {
     auto cfg = citymesh::benchutil::sweep_config();
     cfg.network.conduit.width_m = width;
     const auto eval = core::evaluate_city(city, cfg);
+    emit.add_metrics(eval.metrics);
     rows.push_back({viz::fmt(width, 0) + " m", viz::fmt(eval.reachability(), 3),
                     viz::fmt(eval.deliverability(), 3),
                     eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1),
@@ -32,8 +35,9 @@ int main() {
   viz::print_table(std::cout, "Conduit width ablation (ablation-town)",
                    {"width W", "reach", "deliver", "overhead(med)", "hdr bits(med)"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nExpected shape: deliverability rises steeply until W ~ the\n"
             << "transmission range (50 m), then saturates while overhead keeps\n"
             << "growing - the paper's choice of W ~ range sits at the knee.\n";
-  return 0;
+  return emit.finish();
 }

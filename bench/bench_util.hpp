@@ -1,10 +1,89 @@
 // Shared helpers for the ablation benches.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
 #include "core/evaluation.hpp"
+#include "obsx/manifest.hpp"
 #include "osmx/citygen.hpp"
 
 namespace citymesh::benchutil {
+
+/// Uniform `--json [FILE]` support for every bench binary: construct one at
+/// the top of main (it strips --json from argv so the bench's own flag
+/// parsing stays oblivious), fold printed rows into the determinism digest
+/// with row(), attach metrics snapshots, and `return emit.finish();`.
+/// Bare `--json` writes the canonical BENCH_<name>.json in the CWD.
+/// With no --json flag this costs a clock read and writes nothing.
+class ManifestEmitter {
+ public:
+  ManifestEmitter(std::string name, int& argc, char** argv)
+      : start_(std::chrono::steady_clock::now()) {
+    manifest_.name = std::move(name);
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json") {
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          path_ = argv[++i];
+        } else {
+          path_ = "BENCH_" + manifest_.name + ".json";
+        }
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = std::string{arg.substr(7)};
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  obsx::RunManifest& manifest() { return manifest_; }
+  obsx::Fnv1a& digest() { return digest_; }
+  std::string digest_hex() const { return obsx::hex64(digest_.digest()); }
+
+  /// Fold one printed result row into the determinism digest.
+  void row(std::string_view line) { digest_.update(line); }
+
+  /// Merge a run's metrics snapshot into the manifest (mergeable across
+  /// cities/seeds).
+  void add_metrics(const obsx::MetricsSnapshot& snap) {
+    manifest_.metrics.merge(snap);
+  }
+
+  /// Stamp wall clock + digest and write the manifest when --json was
+  /// given. Returns `code`, or 1 when the manifest could not be written.
+  int finish(int code = 0) {
+    manifest_.wall_clock_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    manifest_.digest = digest_.digest();
+    if (!path_.empty() && !manifest_.write_file(path_)) {
+      std::fprintf(stderr, "error: failed to write manifest %s\n", path_.c_str());
+      return 1;
+    }
+    return code;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  obsx::RunManifest manifest_;
+  obsx::Fnv1a digest_;
+  std::string path_;
+};
+
+/// Fold a whole results table (row-major cells) into the digest.
+inline void digest_rows(ManifestEmitter& emit,
+                        const std::vector<std::vector<std::string>>& rows) {
+  for (const auto& r : rows) {
+    for (const auto& cell : r) emit.row(cell);
+  }
+}
 
 /// A mid-size city used by ablations: structurally a downtown-plus-
 /// residential fabric with one bridged river, small enough that a parameter

@@ -6,6 +6,7 @@
 //      i.e. transmission radii of 27 m and 84 m.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "geo/stats.hpp"
 #include "measure/survey.hpp"
 #include "measure/survey_stats.hpp"
@@ -17,10 +18,14 @@ namespace measure = citymesh::measure;
 namespace geo = citymesh::geo;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig1_cdfs", argc, argv};
   std::cout << "CityMesh reproduction - Figure 1 (survey CDFs)\n";
 
-  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const auto profile = osmx::profile_by_name("boston");
+  emit.manifest().city = profile.name;
+  emit.manifest().seeds[profile.name] = profile.seed;
+  const auto city = osmx::generate_city(profile);
   const auto datasets = measure::run_survey(city, {});
 
   std::vector<viz::CdfSeries> macs;
@@ -40,9 +45,15 @@ int main() {
 
   std::cout << "\nDerived transmission radii (median spread / 2):\n";
   for (auto& s : spreads) {
-    std::cout << "  " << s.label << ": " << viz::fmt(geo::median(s.values) / 2.0, 1)
-              << " m\n";
+    const std::string radius = viz::fmt(geo::median(s.values) / 2.0, 1);
+    emit.row(s.label);
+    emit.row(radius);
+    std::cout << "  " << s.label << ": " << radius << " m\n";
+  }
+  for (auto& m : macs) {
+    emit.row(m.label);
+    emit.row(viz::fmt(geo::median(m.values), 1));
   }
   std::cout << "  paper: campus 27 m, river 84 m\n";
-  return 0;
+  return emit.finish();
 }

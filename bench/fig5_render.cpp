@@ -6,6 +6,7 @@
 // statistics of the rendered section.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "mesh/ap_network.hpp"
 #include "osmx/citygen.hpp"
 #include "viz/svg.hpp"
@@ -15,10 +16,14 @@ namespace mesh = citymesh::mesh;
 namespace geo = citymesh::geo;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig5_render", argc, argv};
   std::cout << "CityMesh reproduction - Figure 5 (downtown section render)\n";
 
-  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const auto profile = osmx::profile_by_name("boston");
+  emit.manifest().city = profile.name;
+  emit.manifest().seeds[profile.name] = profile.seed;
+  const auto city = osmx::generate_city(profile);
   mesh::PlacementConfig placement;  // paper defaults: 1/200 m^2, 50 m
   const auto net = mesh::place_aps(city, placement);
 
@@ -84,5 +89,12 @@ int main() {
                     : 0.0)
             << '\n'
             << "  islands:     " << net.components().count << '\n';
-  return (a_ok && b_ok) ? 0 : 1;
+  for (const std::size_t value :
+       {buildings_in_section, aps_in_section, links_in_section,
+        static_cast<std::size_t>(net.ap_count()),
+        static_cast<std::size_t>(net.graph().edge_count()),
+        static_cast<std::size_t>(net.components().count)}) {
+    emit.row(std::to_string(value));
+  }
+  return emit.finish((a_ok && b_ok) ? 0 : 1);
 }

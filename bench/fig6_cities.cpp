@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/evaluation.hpp"
 #include "geo/stats.hpp"
 #include "osmx/citygen.hpp"
@@ -26,6 +27,7 @@ namespace osmx = citymesh::osmx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig6_cities", argc, argv};
   std::cout << "CityMesh reproduction - Figure 6 (per-city evaluation)\n"
             << "range 50 m, density 1 AP/200 m^2, 1000 reachability pairs,\n"
             << "50 deliverability pairs per city\n";
@@ -41,11 +43,20 @@ int main(int argc, char** argv) {
   cfg.reachability_pairs = 1000;
   cfg.deliverability_pairs = 50;
 
+  emit.manifest().city = profiles.size() == 1 ? profiles.front().name : "all";
+  emit.manifest().set_param("reachability_pairs",
+                            static_cast<std::uint64_t>(cfg.reachability_pairs));
+  emit.manifest().set_param("deliverability_pairs",
+                            static_cast<std::uint64_t>(cfg.deliverability_pairs));
+  emit.manifest().set_param("cities", static_cast<std::uint64_t>(profiles.size()));
+
   std::vector<std::vector<std::string>> rows;
   std::vector<double> all_overheads;
   for (const auto& profile : profiles) {
     const auto city = osmx::generate_city(profile);
     const auto eval = core::evaluate_city(city, cfg);
+    emit.manifest().seeds[profile.name] = profile.seed;
+    emit.add_metrics(eval.metrics);
     rows.push_back({eval.city, std::to_string(eval.buildings), std::to_string(eval.aps),
                     std::to_string(eval.ap_major_islands), viz::fmt(eval.reachability(), 3),
                     viz::fmt(eval.deliverability(), 3),
@@ -63,6 +74,7 @@ int main(int argc, char** argv) {
                    {"city", "buildings", "APs", "islands", "reach", "deliver",
                     "overhead(med)", "hdr bits(med)"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
 
   if (!all_overheads.empty()) {
     std::cout << "\nPooled median transmission overhead: "
@@ -72,5 +84,5 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: near-1.0 reachability and >0.8 deliverability for\n"
             << "contiguous cities; washington_dc fractured by its unbridged river\n"
             << "(depressed reachability, more islands).\n";
-  return 0;
+  return emit.finish();
 }

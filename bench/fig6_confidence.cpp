@@ -5,6 +5,7 @@
 // little for reachability and overhead, a few points for deliverability).
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/evaluation.hpp"
 #include "osmx/citygen.hpp"
 #include "viz/ascii.hpp"
@@ -14,8 +15,10 @@ namespace osmx = citymesh::osmx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig6_confidence", argc, argv};
   const std::size_t seeds = argc > 1 ? std::stoul(argv[1]) : 5;
   std::cout << "CityMesh - Figure 6 with " << seeds << "-seed confidence\n";
+  emit.manifest().set_param("placements", static_cast<std::uint64_t>(seeds));
 
   core::EvaluationConfig cfg;
   cfg.reachability_pairs = 500;
@@ -27,8 +30,11 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<std::string>> rows;
   for (const std::string name : {"boston", "washington_dc", "new_york", "miami"}) {
-    const auto city = osmx::generate_city(osmx::profile_by_name(name));
+    const auto profile = osmx::profile_by_name(name);
+    emit.manifest().seeds[name] = profile.seed;
+    const auto city = osmx::generate_city(profile);
     const auto multi = core::evaluate_city_seeds(city, cfg, seeds);
+    emit.add_metrics(multi.metrics);
     rows.push_back({name, pm(multi.reachability, 3), pm(multi.deliverability, 3),
                     pm(multi.median_overhead, 1), pm(multi.median_header_bits, 0)});
     std::cout << "  [" << name << "] done" << std::endl;
@@ -38,8 +44,9 @@ int main(int argc, char** argv) {
                    "Figure 6 metrics, mean +/- std over " + std::to_string(seeds) +
                        " placements",
                    {"city", "reach", "deliver", "overhead(med)", "hdr bits(med)"}, rows);
+  citymesh::benchutil::digest_rows(emit, rows);
   std::cout << "\nReading: city-to-city differences in Figure 6 (e.g. the DC\n"
             << "fracture) are far larger than the placement noise within a city,\n"
             << "so the paper's single-realization table is representative.\n";
-  return 0;
+  return emit.finish();
 }

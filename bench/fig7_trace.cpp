@@ -1,27 +1,43 @@
 // Figure 7 reproduction: a single simulation trace rendered as SVG.
 //
+// Unlike the other figure benches this one goes through the obsx trace
+// layer end to end: the delivery is recorded into the network's TraceBuffer,
+// written out as fig7_trace.jsonl, read *back* from that file, and the
+// figure is rendered purely from the recorded event stream (roles derived
+// with core::roles_from_trace) — proving a stored trace carries everything
+// the figure needs.
+//
 // Green line: the building route selected by CityMesh's route algorithm.
 // Light blue dots: APs inside the rebroadcast conduit that transmitted.
 // Red dots: APs that received the packet but did not rebroadcast (outside
 // the conduit). Writes fig7_trace.svg and prints the delivery statistics.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "bench_util.hpp"
 #include "core/network.hpp"
 #include "cryptox/sealed.hpp"
-#include "viz/ascii.hpp"
+#include "obsx/trace.hpp"
 #include "osmx/citygen.hpp"
+#include "viz/ascii.hpp"
 #include "viz/svg.hpp"
 
 namespace core = citymesh::core;
+namespace obsx = citymesh::obsx;
 namespace osmx = citymesh::osmx;
 namespace geo = citymesh::geo;
 namespace viz = citymesh::viz;
 namespace cryptox = citymesh::cryptox;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig7_trace", argc, argv};
   std::cout << "CityMesh reproduction - Figure 7 (single simulation trace)\n";
 
-  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const auto profile = osmx::profile_by_name("boston");
+  emit.manifest().city = profile.name;
+  emit.manifest().seeds[profile.name] = profile.seed;
+  const auto city = osmx::generate_city(profile);
   core::NetworkConfig cfg;  // paper defaults
   core::CityMeshNetwork net{city, cfg};
 
@@ -51,19 +67,42 @@ int main() {
     return 1;
   }
 
+  // Record the whole delivery into the network's trace buffer.
+  net.trace().enable();
   const auto alice = cryptox::KeyPair::from_seed(2025);
   const auto sealed = cryptox::seal(alice, info.public_key, "fig7 payload", 7);
-  core::SendOptions opts;
-  opts.collect_trace = true;
-  const auto outcome = net.send(src, info, sealed.serialize(), opts);
+  const auto outcome = net.send(src, info, sealed.serialize());
+
+  // Persist the event stream, then reload it: the figure below is rendered
+  // only from what survived the JSONL round trip.
+  const char* jsonl_path = "fig7_trace.jsonl";
+  {
+    std::ofstream out{jsonl_path};
+    obsx::write_trace_jsonl(out, net.trace());
+    if (!out) {
+      std::cerr << "failed to write " << jsonl_path << '\n';
+      return 1;
+    }
+  }
+  std::ifstream in{jsonl_path};
+  std::string error;
+  const auto events = obsx::read_trace_jsonl(in, &error);
+  if (!events) {
+    std::cerr << "failed to re-read trace: " << error << '\n';
+    return 1;
+  }
+  const core::TraceRoles roles =
+      core::roles_from_trace(*events, outcome.message_id);
 
   std::cout << "  route: " << outcome.route.buildings.size() << " buildings -> "
             << outcome.route.waypoints.size() << " waypoints ("
             << outcome.header_bits << " header bits)\n"
             << "  delivered: " << (outcome.delivered ? "yes" : "NO") << " after "
             << viz::fmt(outcome.delivery_time_s * 1000.0, 1) << " ms\n"
-            << "  rebroadcasting APs: " << outcome.rebroadcast_aps.size() << '\n'
-            << "  receive-only APs:   " << outcome.received_only_aps.size() << '\n';
+            << "  trace events:       " << events->size() << " (from " << jsonl_path
+            << ")\n"
+            << "  rebroadcasting APs: " << roles.rebroadcast.size() << '\n'
+            << "  receive-only APs:   " << roles.received_only.size() << '\n';
   if (outcome.min_hops) {
     std::cout << "  ideal unicast hops: " << *outcome.min_hops << '\n';
   }
@@ -72,15 +111,22 @@ int main() {
               << "x  (paper reports 13x median)\n";
   }
 
-  // Render.
+  emit.manifest().set_param("trace_events",
+                            static_cast<std::uint64_t>(events->size()));
+  emit.manifest().set_param("message_id",
+                            static_cast<std::uint64_t>(outcome.message_id));
+  for (const auto& e : *events) emit.row(obsx::trace_line(e));
+  emit.add_metrics(net.metrics().snapshot());
+
+  // Render — from the reloaded trace roles, not from the live outcome.
   viz::SvgScene scene{city.extent(), 1100.0};
   for (const auto& water : city.water()) scene.add_polygon(water, "#a8c8e8");
   for (const auto& b : city.buildings()) scene.add_polygon(b.footprint, "#e0e0e0");
 
-  for (const auto ap : outcome.received_only_aps) {
+  for (const auto ap : roles.received_only) {
     scene.add_circle(net.aps().ap(ap).position, 1.4, "#d62728", 0.8);  // red
   }
-  for (const auto ap : outcome.rebroadcast_aps) {
+  for (const auto ap : roles.rebroadcast) {
     scene.add_circle(net.aps().ap(ap).position, 1.6, "#56b4e9");  // light blue
   }
   std::vector<geo::Point> route_line;
@@ -96,5 +142,5 @@ int main() {
 
   const bool ok = scene.write_file("fig7_trace.svg");
   std::cout << "  fig7_trace.svg " << (ok ? "written" : "FAILED") << '\n';
-  return ok && outcome.delivered ? 0 : 1;
+  return emit.finish(ok && outcome.delivered ? 0 : 1);
 }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/evaluation.hpp"
 #include "core/network.hpp"
 #include "faultx/engine.hpp"
@@ -108,20 +109,6 @@ double core_service_fraction(const core::CityMeshNetwork& network,
   return total ? static_cast<double>(served) / static_cast<double>(total) : 0.0;
 }
 
-// FNV-1a over the table rows: two same-seed runs must print the same digest.
-std::uint64_t digest_rows(const std::vector<std::vector<std::string>>& rows) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const auto& row : rows) {
-    for (const auto& cell : row) {
-      for (const char c : cell) {
-        h ^= static_cast<std::uint8_t>(c);
-        h *= 1099511628211ull;
-      }
-    }
-  }
-  return h;
-}
-
 // One traced delivery across the blackout: the west-most and east-most
 // buildings that still have a live AP. The planned conduit either detours
 // around the dead zone or is severed by it — both render meaningfully.
@@ -166,6 +153,7 @@ void render_scenario(const osmx::CityProfile& profile, const std::string& path) 
 }  // namespace
 
 int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig8_scenarios", argc, argv};
   std::cout << "CityMesh extension - Figure 8 (deliverability vs outage size)\n"
             << "blackout polygon grows over the downtown core; Fig-6 protocol\n"
             << "re-measured on the surviving mesh at each size\n";
@@ -185,9 +173,17 @@ int main(int argc, char** argv) {
   snapshot.reliable_rescue = true;
   snapshot.seed = 4242;
 
+  emit.manifest().city = profiles.size() == 1 ? profiles.front().name : "all";
+  emit.manifest().seeds["snapshot"] = snapshot.seed;
+  emit.manifest().seeds["scenario"] = 811;
+  emit.manifest().set_param("pairs", static_cast<std::uint64_t>(snapshot.pairs));
+  emit.manifest().set_param("deliver_pairs",
+                            static_cast<std::uint64_t>(snapshot.deliver_pairs));
+
   std::vector<std::vector<std::string>> rows;
   for (const auto& profile : profiles) {
     const osmx::City city = osmx::generate_city(profile);
+    emit.manifest().seeds[profile.name] = profile.seed;
     const geo::Rect downtown = downtown_bounds(city);
     for (const double fraction : kOutageFractions) {
       // Fresh network per point: identical placement (seeded), so the sweep
@@ -219,12 +215,13 @@ int main(int argc, char** argv) {
                     "deliver", "rescued", "deliver+rescue"},
                    rows);
 
-  std::cout << "\nDeterminism digest: " << std::hex << digest_rows(rows) << std::dec
+  citymesh::benchutil::digest_rows(emit, rows);
+  std::cout << "\nDeterminism digest: " << emit.digest_hex()
             << "  (same seed => same digest across runs)\n"
             << "Expected shape: graceful reachability decay while the outage\n"
             << "stays inside the core, collapse once it spans downtown; wider\n"
             << "rescue conduits recover grazing failures only.\n";
 
   render_scenario(profiles.front(), "fig8_scenario.svg");
-  return 0;
+  return emit.finish();
 }

@@ -7,6 +7,7 @@
 // route-length statistics behind it.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/route_planner.hpp"
 #include "geo/rng.hpp"
 #include "geo/stats.hpp"
@@ -18,10 +19,15 @@ namespace osmx = citymesh::osmx;
 namespace geo = citymesh::geo;
 namespace viz = citymesh::viz;
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"header_stats", argc, argv};
   std::cout << "CityMesh reproduction - compressed route header statistics\n";
 
-  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const auto profile = osmx::profile_by_name("boston");
+  emit.manifest().city = profile.name;
+  emit.manifest().seeds[profile.name] = profile.seed;
+  emit.manifest().seeds["route_rng"] = 404;
+  const auto city = osmx::generate_city(profile);
   const core::BuildingGraph map{city, {}};
   const core::RoutePlanner planner{map, {}};
 
@@ -70,7 +76,14 @@ int main() {
         viz::fmt(q(waypoint_count, 0.9), 0)}});
 
   const double ratio = geo::median(raw_bits) / geo::median(compressed_bits);
+  for (const double p : {0.5, 0.9, 0.99, 1.0}) {
+    emit.row(viz::fmt(q(compressed_bits, p), 0));
+    emit.row(viz::fmt(q(raw_bits, p), 0));
+  }
+  emit.row(viz::fmt(ratio, 1));
+  emit.manifest().set_param("routes",
+                            static_cast<std::uint64_t>(compressed_bits.size()));
   std::cout << "\nCompression shrinks the median header " << viz::fmt(ratio, 1)
             << "x vs encoding the full building route.\n";
-  return 0;
+  return emit.finish();
 }

@@ -5,6 +5,7 @@
 // per packet, so their costs bound achievable forwarding rates.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/ap_agent.hpp"
 #include "core/building_graph.hpp"
 #include "core/conduit.hpp"
@@ -202,3 +203,16 @@ static void BM_SealUnseal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SealUnseal);
+
+// Custom main instead of benchmark_main: the ManifestEmitter peels its
+// --json flag off argv before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"micro_bench", argc, argv};
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit.manifest().set_param("benchmarks_run", static_cast<std::uint64_t>(ran));
+  emit.row(std::to_string(ran));
+  return emit.finish();
+}

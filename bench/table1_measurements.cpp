@@ -11,6 +11,7 @@
 //   all         4,428                40,158
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "measure/survey.hpp"
 #include "osmx/citygen.hpp"
 #include "viz/ascii.hpp"
@@ -33,12 +34,16 @@ std::string paper_row(osmx::AreaType t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"table1_measurements", argc, argv};
   std::cout << "CityMesh reproduction - Table 1 (measurement-study summary)\n"
             << "City model: synthetic 'boston' profile (see DESIGN.md for the\n"
             << "OSM-data substitution rationale).\n";
 
-  const auto city = osmx::generate_city(osmx::profile_by_name("boston"));
+  const auto profile = osmx::profile_by_name("boston");
+  emit.manifest().city = profile.name;
+  emit.manifest().seeds[profile.name] = profile.seed;
+  const auto city = osmx::generate_city(profile);
   const measure::SurveyConfig config;
   const auto datasets = measure::run_survey(city, config);
   const auto all = measure::merge_datasets(datasets);
@@ -55,10 +60,11 @@ int main() {
                    {"Dataset", "# Measurements", "# Unique APs",
                     "paper (# meas / # APs)"},
                    rows);
+  citymesh::benchutil::digest_rows(emit, rows);
 
   std::cout << "\nExpected shape: measurement counts match the paper's quotas by\n"
             << "construction; unique-AP counts scale with area density, with\n"
             << "downtown >> campus and the ordering downtown > residential-area\n"
             << "rates preserved.\n";
-  return 0;
+  return emit.finish();
 }

@@ -41,6 +41,10 @@ bool in_broadcast_region(const wire::PacketHeader& header, const BuildingGraph& 
 struct MeshPacket {
   std::vector<std::uint8_t> header_bytes;
   std::vector<std::uint8_t> payload;
+  /// Simulation-side copy of the header's message id so the medium can tag
+  /// trace events (src/obsx) without decoding the header per hop. Not part
+  /// of the wire format.
+  std::uint32_t trace_id = 0;
 };
 
 /// Failure-injection modes for the security experiments (§1 "Security").

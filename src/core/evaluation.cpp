@@ -69,6 +69,7 @@ CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& con
       if (const auto oh = outcome.overhead()) eval.overheads.push_back(*oh);
     }
   }
+  eval.metrics = network.metrics().snapshot();
   return eval;
 }
 
@@ -161,6 +162,7 @@ MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,
     multi.deliverability.add(eval.deliverability());
     if (!eval.overheads.empty()) multi.median_overhead.add(eval.median_overhead());
     if (!eval.header_bits.empty()) multi.median_header_bits.add(eval.median_header_bits());
+    multi.metrics.merge(eval.metrics);
   }
   return multi;
 }

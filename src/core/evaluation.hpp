@@ -16,6 +16,7 @@
 
 #include "core/network.hpp"
 #include "geo/stats.hpp"
+#include "obsx/metrics.hpp"
 #include "osmx/building.hpp"
 
 namespace citymesh::core {
@@ -54,6 +55,11 @@ struct CityEvaluation {
   std::vector<double> header_bits;  ///< per planned route
   double median_overhead() const;
   double median_header_bits() const;
+
+  /// Snapshot of the network's registry after the run: the medium's
+  /// authoritative medium.* counters plus the net.*/sim.* protocol metrics.
+  /// Mergeable across cities/seeds; serializes into run manifests.
+  obsx::MetricsSnapshot metrics;
 };
 
 /// Run the full §4 protocol on a city.
@@ -70,6 +76,9 @@ struct MultiSeedEvaluation {
   geo::RunningStats deliverability;
   geo::RunningStats median_overhead;
   geo::RunningStats median_header_bits;
+  /// Per-seed registry snapshots merged into one (counters sum, histogram
+  /// buckets add), ready for a manifest.
+  obsx::MetricsSnapshot metrics;
 };
 
 MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,

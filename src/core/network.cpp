@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <unordered_set>
 
 namespace citymesh::core {
+
+std::size_t CityMeshNetwork::trace_capacity_for(const NetworkConfig& config,
+                                                std::size_t ap_count) {
+  if (config.trace_capacity != 0) return config.trace_capacity;
+  // Rough per-send budget: every AP receives, decides, and possibly
+  // retransmits; 24 events per AP covers a flood plus an ack with slack.
+  return std::max<std::size_t>(std::size_t{1} << 16, 24 * ap_count);
+}
 
 CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
     : city_(&city),
@@ -14,6 +23,7 @@ CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
       planner_(map_, config.conduit),
       medium_(sim_, aps_.graph(), config.medium),
       message_rng_(config.seed),
+      trace_(trace_capacity_for(config_, aps_.ap_count())),
       ap_status_(aps_.ap_count(), ApStatus::kUp),
       aps_up_(aps_.ap_count()) {
   agents_.reserve(aps_.ap_count());
@@ -29,6 +39,47 @@ CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
   medium_.set_link_loss([this](sim::NodeId from, sim::NodeId to) {
     return extra_link_loss(from, to);
   });
+
+  // Observability wiring: the medium's tally *is* the network's medium.*
+  // metric set, and the medium stamps trace events with the packet's
+  // decoded message id.
+  medium_.bind_metrics(metrics_);
+  medium_.set_trace(&trace_, [](const MeshPacket& p) { return p.trace_id; });
+  sim_.set_latency_histogram(
+      &metrics_.histogram("sim.event_latency_s", obsx::exponential_buckets(1e-4, 4.0, 10)));
+  n_sends_ = &metrics_.counter("net.sends");
+  n_delivered_ = &metrics_.counter("net.delivered");
+  n_rebroadcasts_ = &metrics_.counter("net.rebroadcasts");
+  n_dup_suppressed_ = &metrics_.counter("net.dup_suppressed");
+  n_conduit_rejects_ = &metrics_.counter("net.conduit_rejects");
+  n_postbox_stores_ = &metrics_.counter("net.postbox_stores");
+  n_acks_sent_ = &metrics_.counter("net.acks_sent");
+  n_acks_received_ = &metrics_.counter("net.acks_received");
+  n_suppression_cancelled_ = &metrics_.counter("net.suppression_cancelled");
+  h_header_bits_ = &metrics_.histogram("net.header_bits", obsx::linear_buckets(80.0, 20.0, 16));
+  h_min_hops_ = &metrics_.histogram("net.min_hops", obsx::linear_buckets(1.0, 1.0, 32));
+  h_tx_per_delivery_ =
+      &metrics_.histogram("net.tx_per_delivery", obsx::exponential_buckets(1.0, 2.0, 12));
+}
+
+TraceRoles roles_from_trace(std::span<const obsx::TraceEvent> events,
+                            std::uint32_t message_id) {
+  TraceRoles roles;
+  std::unordered_set<std::uint32_t> txed;
+  std::vector<std::uint32_t> rx_order;
+  std::unordered_set<std::uint32_t> rxed;
+  for (const obsx::TraceEvent& e : events) {
+    if (e.packet != message_id) continue;
+    if (e.kind == obsx::TraceKind::kTx) {
+      if (txed.insert(e.node).second) roles.rebroadcast.push_back(e.node);
+    } else if (e.kind == obsx::TraceKind::kRx) {
+      if (rxed.insert(e.node).second) rx_order.push_back(e.node);
+    }
+  }
+  for (const std::uint32_t node : rx_order) {
+    if (!txed.contains(node)) roles.received_only.push_back(node);
+  }
+  return roles;
 }
 
 namespace {
@@ -70,11 +121,8 @@ std::shared_ptr<Postbox> CityMeshNetwork::postbox_at(
 void CityMeshNetwork::transmit_counted(mesh::ApId from,
                                        const std::shared_ptr<const MeshPacket>& packet) {
   // An AP that went down after queuing this rebroadcast (backoff, ack) stays
-  // silent; the medium would block it anyway, but blocking here keeps the
-  // transmission count honest.
-  if (!ap_up(from)) return;
-  ++active_.transmissions;
-  if (active_.collect_trace) active_.rebroadcast_aps.push_back(from);
+  // silent: the medium's node filter blocks it, counts it under
+  // medium.blocked_transmissions (not transmissions), and traces the drop.
   medium_.transmit(from, packet);
 }
 
@@ -139,12 +187,15 @@ void CityMeshNetwork::send_ack_from(mesh::ApId ap) {
   ack.set_flag(wire::PacketFlag::kAck);
   const auto encoded = wire::encode_header(ack);
   auto packet = std::make_shared<const MeshPacket>(
-      MeshPacket{encoded.bytes, /*payload=*/{}});
+      MeshPacket{encoded.bytes, /*payload=*/{}, ack.message_id});
+  n_acks_sent_->inc();
+  trace_.record(obsx::TraceKind::kAck, sim_.now(), ap, ack.message_id);
   // The originating AP marks the ack as seen (it may also deliver when the
   // sender and recipient share a building) and always transmits it.
   const AgentAction action = agents_[ap].on_receive(*packet, sim_.now());
   if (action.delivered && action.message_id == active_.ack_message_id) {
     active_.ack_delivered = true;
+    n_acks_received_->inc();
   }
   transmit_counted(ap, packet);
 }
@@ -155,7 +206,11 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
   const AgentAction action = agent.on_receive(*packet, sim_.now());
   if (action.malformed) return;
 
+  const auto node = static_cast<std::uint32_t>(to);
   if (action.duplicate) {
+    n_dup_suppressed_->inc();
+    trace_.record(obsx::TraceKind::kDupSuppressed, sim_.now(), node,
+                  action.message_id, static_cast<std::uint32_t>(from));
     // Same-building overhearing suppression: a *nearby* AP of this building
     // already carried the packet, so this AP's pending copy is redundant.
     if (config_.building_suppression &&
@@ -166,27 +221,36 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
       if (const auto it = active_.pending.find(key); it != active_.pending.end()) {
         *it->second = true;  // cancelled
         active_.pending.erase(it);
+        n_suppression_cancelled_->inc();
       }
     }
     return;
   }
 
   if (action.delivered) {
+    n_postbox_stores_->inc(action.delivered_count);
+    trace_.record(obsx::TraceKind::kPostboxStore, sim_.now(), node,
+                  action.message_id,
+                  static_cast<std::uint32_t>(action.delivered_count));
     if (action.message_id == active_.message_id) {
       active_.postboxes_reached += action.delivered_count;
       if (!active_.delivered) {
         active_.delivered = true;
         active_.delivery_time_s = sim_.now();
+        n_delivered_->inc();
       }
       if (active_.ack_message_id != 0 && !active_.ack_sent) {
         send_ack_from(to);
       }
     } else if (action.message_id == active_.ack_message_id) {
+      if (!active_.ack_delivered) n_acks_received_->inc();
       active_.ack_delivered = true;
     }
   }
 
   if (action.rebroadcast) {
+    n_rebroadcasts_->inc();
+    trace_.record(obsx::TraceKind::kRebroadcast, sim_.now(), node, action.message_id);
     if (!config_.building_suppression) {
       transmit_counted(to, packet);
     } else {
@@ -201,8 +265,9 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
         transmit_counted(to, packet);
       });
     }
-  } else if (active_.collect_trace) {
-    active_.received_only_aps.push_back(to);
+  } else {
+    n_conduit_rejects_->inc();
+    trace_.record(obsx::TraceKind::kConduitReject, sim_.now(), node, action.message_id);
   }
 }
 
@@ -226,9 +291,11 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
   if (!src_ap) return outcome;
   outcome.source_has_ap = true;
 
-  // Build the packet.
+  // Build the packet. Message ids derive from (seed, sequence) — stable
+  // across runs and independent of unrelated RNG draws, so trace packet ids
+  // are reproducible.
   wire::PacketHeader header;
-  header.message_id = static_cast<std::uint32_t>(message_rng_.next());
+  header.message_id = wire::derive_message_id(config_.seed, ++send_seq_);
   header.postbox_tag = to.id.tag();
   header.conduit_width_m = route->conduit_width_m;
   header.waypoints = route->waypoints;
@@ -240,22 +307,34 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
   outcome.header_bits = encoded.bit_count;
 
   auto packet = std::make_shared<const MeshPacket>(MeshPacket{
-      encoded.bytes, std::vector<std::uint8_t>{payload.begin(), payload.end()}});
+      encoded.bytes, std::vector<std::uint8_t>{payload.begin(), payload.end()},
+      header.message_id});
 
   outcome.message_id = header.message_id;
 
   // Reset per-send bookkeeping.
   active_ = ActiveSend{};
   active_.message_id = header.message_id;
-  active_.collect_trace = opts.collect_trace;
   active_.conduit_width_m = route->conduit_width_m;
   if (opts.request_ack && opts.ack_to) {
-    active_.ack_message_id = static_cast<std::uint32_t>(message_rng_.next());
-    if (active_.ack_message_id == 0) active_.ack_message_id = 1;
+    active_.ack_message_id = wire::derive_message_id(config_.seed, ++send_seq_);
     active_.ack_tag = opts.ack_to->id.tag();
     active_.ack_waypoints.assign(route->waypoints.rbegin(), route->waypoints.rend());
     outcome.ack_message_id = active_.ack_message_id;
   }
+
+  n_sends_->inc();
+  h_header_bits_->record(static_cast<double>(encoded.bit_count));
+
+  // Per-AP roles are reconstructed from the trace stream; borrow the trace
+  // for this send when the caller didn't already turn it on.
+  const bool borrow_trace = opts.collect_trace && !trace_.enabled();
+  if (borrow_trace) trace_.enable();
+  const std::uint64_t trace_mark = trace_.recorded();
+  const std::size_t tx_before = medium_.transmissions();
+
+  trace_.record(obsx::TraceKind::kOriginate, sim_.now(),
+                static_cast<std::uint32_t>(*src_ap), header.message_id);
 
   // The source AP processes its own packet (marks it seen, may deliver when
   // sender and recipient share a building) and always performs the initial
@@ -266,6 +345,11 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
     active_.delivered = true;
     active_.delivery_time_s = sim_.now();
     active_.postboxes_reached += first.delivered_count;
+    n_delivered_->inc();
+    n_postbox_stores_->inc(first.delivered_count);
+    trace_.record(obsx::TraceKind::kPostboxStore, sim_.now(),
+                  static_cast<std::uint32_t>(*src_ap), header.message_id,
+                  static_cast<std::uint32_t>(first.delivered_count));
     if (active_.ack_message_id != 0) send_ack_from(*src_ap);
   }
   transmit_counted(*src_ap, packet);
@@ -274,10 +358,25 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
 
   outcome.delivered = active_.delivered;
   outcome.delivery_time_s = active_.delivery_time_s;
-  outcome.transmissions = active_.transmissions;
+  // The medium's counter is the single source of truth for transmissions;
+  // this send's share is the delta (includes the ack's flood, like before).
+  outcome.transmissions = medium_.transmissions() - tx_before;
   outcome.ack_received = active_.ack_delivered;
-  outcome.rebroadcast_aps = std::move(active_.rebroadcast_aps);
-  outcome.received_only_aps = std::move(active_.received_only_aps);
+
+  if (opts.collect_trace) {
+    // Events this send appended: the tail of the ring. A wrap can only lose
+    // the oldest of them (capacity is sized generously above).
+    const auto events = trace_.events();
+    const std::uint64_t fresh = trace_.recorded() - trace_mark;
+    const std::size_t take =
+        static_cast<std::size_t>(std::min<std::uint64_t>(fresh, events.size()));
+    TraceRoles roles = roles_from_trace(
+        std::span<const obsx::TraceEvent>{events.data() + (events.size() - take), take},
+        header.message_id);
+    outcome.rebroadcast_aps = std::move(roles.rebroadcast);
+    outcome.received_only_aps = std::move(roles.received_only);
+    if (borrow_trace) trace_.enable(false);
+  }
 
   // Ideal unicast hop count: shortest AP path from the source AP to the
   // closest AP in the destination building.
@@ -288,6 +387,10 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
   }
   if (best < graphx::kInfiniteDistance) {
     outcome.min_hops = static_cast<std::size_t>(best);
+    h_min_hops_->record(best);
+  }
+  if (outcome.delivered) {
+    h_tx_per_delivery_->record(static_cast<double>(outcome.transmissions));
   }
   return outcome;
 }

@@ -30,6 +30,8 @@
 #include "core/postbox.hpp"
 #include "core/route_planner.hpp"
 #include "mesh/ap_network.hpp"
+#include "obsx/metrics.hpp"
+#include "obsx/trace.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 
@@ -73,6 +75,10 @@ struct NetworkConfig {
   bool building_suppression = false;
   sim::SimTime suppression_backoff_s = 0.02;
   double suppression_radius_m = 15.0;
+
+  /// Capacity of the network's trace ring (events). 0 = auto-size from the
+  /// AP count. The ring keeps the latest window when a run outgrows it.
+  std::size_t trace_capacity = 0;
 };
 
 struct SendOptions {
@@ -113,10 +119,22 @@ struct SendOutcome {
   bool ack_received = false;
   std::uint32_t ack_message_id = 0;
 
-  /// Figure-7 trace (only when SendOptions::collect_trace).
+  /// Figure-7 per-AP roles (only when SendOptions::collect_trace); derived
+  /// from the obsx trace stream via roles_from_trace.
   std::vector<mesh::ApId> rebroadcast_aps;
   std::vector<mesh::ApId> received_only_aps;
 };
+
+/// Per-AP roles of one message, reconstructed from a recorded trace: which
+/// APs put the packet on the air and which only heard it. This is how
+/// Figure 7 is rendered — from the event stream, not live bookkeeping.
+struct TraceRoles {
+  std::vector<mesh::ApId> rebroadcast;     ///< nodes with a kTx, first-tx order
+  std::vector<mesh::ApId> received_only;   ///< nodes with kRx but no kTx
+};
+
+TraceRoles roles_from_trace(std::span<const obsx::TraceEvent> events,
+                            std::uint32_t message_id);
 
 /// Result of `send_reliable`: width-escalating retries until acked.
 struct ReliableOutcome {
@@ -224,6 +242,17 @@ class CityMeshNetwork {
   /// The broadcast medium (fault-injection tests read its counters).
   sim::BroadcastMedium<MeshPacket>& medium() { return medium_; }
 
+  /// The network's metrics registry: the medium's authoritative counters
+  /// (medium.*) plus the protocol-level tallies and histograms (net.*,
+  /// sim.*). Snapshot it for evaluation rows and run manifests.
+  obsx::MetricsRegistry& metrics() { return metrics_; }
+  const obsx::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The packet-lifecycle trace. Disabled by default; enable() before a
+  /// send to record its event stream, then write_trace_jsonl it.
+  obsx::TraceBuffer& trace() { return trace_; }
+  const obsx::TraceBuffer& trace() const { return trace_; }
+
   /// Direct agent access for tests.
   ApAgent& agent(mesh::ApId id) { return agents_.at(id); }
 
@@ -239,6 +268,9 @@ class CityMeshNetwork {
                        std::span<const std::uint8_t> payload, const SendOptions& opts,
                        std::uint8_t extra_flags, std::uint32_t broadcast_radius_m);
 
+  static std::size_t trace_capacity_for(const NetworkConfig& config,
+                                        std::size_t ap_count);
+
   const osmx::City* city_;
   NetworkConfig config_;
   BuildingGraph map_;
@@ -248,6 +280,25 @@ class CityMeshNetwork {
   sim::BroadcastMedium<MeshPacket> medium_;
   std::vector<ApAgent> agents_;
   geo::Rng message_rng_;
+
+  // Observability (src/obsx): the registry holds the authoritative counters
+  // for the whole stack; the trace ring receives the packet-lifecycle
+  // stream. Handles are cached once — the hot path pays one increment.
+  obsx::MetricsRegistry metrics_;
+  obsx::TraceBuffer trace_;
+  std::uint64_t send_seq_ = 0;  ///< feeds wire::derive_message_id
+  obsx::Counter* n_sends_ = nullptr;
+  obsx::Counter* n_delivered_ = nullptr;
+  obsx::Counter* n_rebroadcasts_ = nullptr;
+  obsx::Counter* n_dup_suppressed_ = nullptr;
+  obsx::Counter* n_conduit_rejects_ = nullptr;
+  obsx::Counter* n_postbox_stores_ = nullptr;
+  obsx::Counter* n_acks_sent_ = nullptr;
+  obsx::Counter* n_acks_received_ = nullptr;
+  obsx::Counter* n_suppression_cancelled_ = nullptr;
+  obsx::Histogram* h_header_bits_ = nullptr;
+  obsx::Histogram* h_min_hops_ = nullptr;
+  obsx::Histogram* h_tx_per_delivery_ = nullptr;
 
   // Fault state: per-AP status plus degraded-link regions with precomputed
   // per-AP membership (aps are static, regions few).
@@ -261,16 +312,14 @@ class CityMeshNetwork {
   std::unordered_map<std::string, std::shared_ptr<Postbox>> postboxes_;
   std::unordered_map<std::string, std::shared_ptr<Postbox>> primary_postboxes_;
 
-  // Per-message bookkeeping for the in-flight send.
+  // Per-message bookkeeping for the in-flight send. Transmission counts and
+  // per-AP roles live in the medium's counters / the trace stream now, not
+  // here.
   struct ActiveSend {
     std::uint32_t message_id = 0;
     bool delivered = false;
     double delivery_time_s = 0.0;
-    std::size_t transmissions = 0;
     std::size_t postboxes_reached = 0;
-    bool collect_trace = false;
-    std::vector<mesh::ApId> rebroadcast_aps;
-    std::vector<mesh::ApId> received_only_aps;
 
     // Ack machinery.
     std::uint32_t ack_message_id = 0;  ///< 0 = no ack expected

@@ -1,0 +1,208 @@
+#include "obsx/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace citymesh::obsx {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[byte >> 4];
+          out += kHex[byte & 0xf];
+        } else {
+          out += c;  // printable ASCII and UTF-8 continuation bytes
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) return "null";
+  return std::string{buf.data(), ptr};
+}
+
+std::string json_number(std::uint64_t v) { return std::to_string(v); }
+
+namespace {
+
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view text) : text_(text) {}
+
+  std::optional<std::map<std::string, JsonValue>> parse(std::string* error) {
+    try {
+      skip_ws();
+      expect('{');
+      std::map<std::string, JsonValue> out;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+      } else {
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          skip_ws();
+          JsonValue value = parse_scalar();
+          if (!out.emplace(std::move(key), std::move(value)).second) {
+            throw std::runtime_error{"duplicate key"};
+          }
+          skip_ws();
+          const char c = take();
+          if (c == '}') break;
+          if (c != ',') throw std::runtime_error{"expected ',' or '}'"};
+        }
+      }
+      skip_ws();
+      if (pos_ != text_.size()) throw std::runtime_error{"trailing characters"};
+      return out;
+    } catch (const std::exception& e) {
+      if (error) {
+        *error = std::string{e.what()} + " at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char take() {
+    if (pos_ >= text_.size()) throw std::runtime_error{"unexpected end of input"};
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    if (take() != c) throw std::runtime_error{std::string{"expected '"} + c + "'"};
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          throw std::runtime_error{"raw control character in string"};
+        }
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else throw std::runtime_error{"bad \\u escape"};
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // not produced by our writer and are rejected here).
+          if (code >= 0xd800 && code <= 0xdfff) {
+            throw std::runtime_error{"surrogate \\u escape unsupported"};
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: throw std::runtime_error{"bad escape"};
+      }
+    }
+  }
+
+  JsonValue parse_scalar() {
+    JsonValue v;
+    const char c = peek();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (c == '{' || c == '[') throw std::runtime_error{"nested values unsupported"};
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;
+    }
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double num = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, num);
+    if (ec != std::errc{} || ptr == begin) throw std::runtime_error{"bad scalar"};
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = num;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonValue>> parse_flat_object(
+    std::string_view text, std::string* error) {
+  return FlatParser{text}.parse(error);
+}
+
+}  // namespace citymesh::obsx

@@ -1,0 +1,48 @@
+// Minimal JSON substrate for the observability layer (src/obsx).
+//
+// Writing: escape helper plus deterministic number formatting (shortest
+// round-trip via std::to_chars), so two runs with identical state produce
+// byte-identical documents — the property the manifest determinism tests
+// pin down. Reading: a deliberately small parser for *flat* objects
+// (string / number / bool / null values, no nesting), which is exactly the
+// shape of one trace JSONL line; the CLI uses it to validate and filter
+// recorded traces without growing a JSON library dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace citymesh::obsx {
+
+/// Escape `s` for use inside a JSON string literal (quotes not included).
+/// Control characters become \uXXXX (or the short \n, \t, ... forms);
+/// UTF-8 multibyte sequences pass through unchanged.
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal form of `v` ("0.1", not "0.10000000000001").
+/// Non-finite values render as null (JSON has no inf/nan).
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+
+/// One parsed scalar value of a flat JSON object.
+struct JsonValue {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;     ///< kString (unescaped)
+  double num = 0.0;    ///< kNumber
+  bool boolean = false;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+};
+
+/// Parse a single flat JSON object: `{"key": scalar, ...}`. Returns nullopt
+/// and sets `error` (when non-null) on malformed input, nesting, or
+/// duplicate keys.
+std::optional<std::map<std::string, JsonValue>> parse_flat_object(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace citymesh::obsx

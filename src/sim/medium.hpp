@@ -11,13 +11,23 @@
 // reception is checked at delivery time, so a node that fails while a packet
 // is in flight still misses it) and a per-link extra-loss function
 // (regional interference / degraded-link scenarios).
+//
+// Observability: the medium's tally is the authoritative transmission /
+// delivery count (src/obsx) — bind_metrics() repoints the counters into a
+// shared MetricsRegistry so evaluation and benches read the same numbers the
+// medium wrote, and set_trace() attaches a TraceBuffer that receives one
+// kTx/kRx/kDropLoss/kDropFaulted event per physical-layer action.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "geo/rng.hpp"
 #include "graphx/graph.hpp"
+#include "obsx/metrics.hpp"
+#include "obsx/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace citymesh::sim {
@@ -48,9 +58,17 @@ class BroadcastMedium {
   /// Extra per-link loss probability (0 = pristine), combined independently
   /// with the config's base loss_probability.
   using LinkLossFn = std::function<double(NodeId from, NodeId to)>;
+  /// Stable trace id of a packet (a decoded message id, not a pointer).
+  using PacketIdFn = std::function<std::uint32_t(const Packet&)>;
 
   BroadcastMedium(Simulator& simulator, const graphx::Graph& topology, MediumConfig config)
-      : sim_(simulator), topology_(topology), config_(config), rng_(config.seed) {}
+      : sim_(simulator), topology_(topology), config_(config), rng_(config.seed) {
+    transmissions_ = &own_.counter("transmissions");
+    deliveries_ = &own_.counter("deliveries");
+    losses_ = &own_.counter("losses");
+    blocked_transmissions_ = &own_.counter("blocked_transmissions");
+    blocked_receptions_ = &own_.counter("blocked_receptions");
+  }
 
   void set_delivery_handler(DeliveryFn fn) { deliver_ = std::move(fn); }
 
@@ -61,15 +79,38 @@ class BroadcastMedium {
   /// Install a live per-link extra-loss function. Pass nullptr to clear.
   void set_link_loss(LinkLossFn fn) { link_loss_ = std::move(fn); }
 
+  /// Repoint the medium's counters into `registry` under `<prefix>.*` so
+  /// consumers read the medium's own tally instead of keeping a parallel
+  /// one. The registry must outlive the medium. Counts accumulated on the
+  /// internal counters before binding are not carried over.
+  void bind_metrics(obsx::MetricsRegistry& registry, std::string_view prefix = "medium") {
+    const std::string p{prefix};
+    transmissions_ = &registry.counter(p + ".transmissions");
+    deliveries_ = &registry.counter(p + ".deliveries");
+    losses_ = &registry.counter(p + ".losses");
+    blocked_transmissions_ = &registry.counter(p + ".blocked_transmissions");
+    blocked_receptions_ = &registry.counter(p + ".blocked_receptions");
+  }
+
+  /// Attach a trace buffer; `id_fn` extracts the stable packet id recorded
+  /// in each event. nullptr detaches. The buffer must outlive the medium.
+  void set_trace(obsx::TraceBuffer* trace, PacketIdFn id_fn = nullptr) {
+    trace_ = trace;
+    packet_id_ = std::move(id_fn);
+  }
+
   bool node_up(NodeId node) const { return !node_up_ || node_up_(node); }
 
   /// Broadcast `packet` from `from` to all topology neighbors.
   void transmit(NodeId from, std::shared_ptr<const Packet> packet) {
+    const std::uint32_t pid = trace_id(*packet);
     if (!node_up(from)) {
-      ++blocked_transmissions_;
+      blocked_transmissions_->inc();
+      trace(obsx::TraceKind::kDropFaulted, from, pid);
       return;
     }
-    ++transmissions_;
+    transmissions_->inc();
+    trace(obsx::TraceKind::kTx, from, pid);
     for (const graphx::Edge& link : topology_.neighbors(from)) {
       double loss = config_.loss_probability;
       if (link_loss_) {
@@ -77,42 +118,58 @@ class BroadcastMedium {
         if (extra > 0.0) loss = 1.0 - (1.0 - loss) * (1.0 - extra);
       }
       if (loss > 0.0 && rng_.chance(loss)) {
-        ++losses_;
+        losses_->inc();
+        trace(obsx::TraceKind::kDropLoss, link.to, pid, static_cast<std::uint32_t>(from));
         continue;
       }
       const SimTime delay = config_.tx_delay_s +
                             config_.prop_delay_s_per_m * link.weight +
                             (config_.jitter_s > 0.0 ? rng_.uniform(0.0, config_.jitter_s) : 0.0);
       const NodeId to = link.to;
-      sim_.schedule_in(delay, [this, to, from, packet] {
+      sim_.schedule_in(delay, [this, to, from, packet, pid] {
         // Receiver status is sampled at delivery time: a node that went down
         // while the packet was in flight misses it.
         if (!node_up(to)) {
-          ++blocked_receptions_;
+          blocked_receptions_->inc();
+          trace(obsx::TraceKind::kDropFaulted, to, pid, static_cast<std::uint32_t>(from));
           return;
         }
-        ++deliveries_;
+        deliveries_->inc();
+        trace(obsx::TraceKind::kRx, to, pid, static_cast<std::uint32_t>(from));
         if (deliver_) deliver_(to, from, packet);
       });
     }
   }
 
   /// Total broadcasts initiated (the paper's "number of packet broadcasts").
-  std::size_t transmissions() const { return transmissions_; }
+  std::size_t transmissions() const { return transmissions_->value(); }
   /// Per-link deliveries (each broadcast fans out to its neighbors).
-  std::size_t deliveries() const { return deliveries_; }
-  std::size_t losses() const { return losses_; }
+  std::size_t deliveries() const { return deliveries_->value(); }
+  std::size_t losses() const { return losses_->value(); }
   /// Broadcasts swallowed because the transmitter was down.
-  std::size_t blocked_transmissions() const { return blocked_transmissions_; }
+  std::size_t blocked_transmissions() const { return blocked_transmissions_->value(); }
   /// In-flight deliveries dropped because the receiver was down.
-  std::size_t blocked_receptions() const { return blocked_receptions_; }
+  std::size_t blocked_receptions() const { return blocked_receptions_->value(); }
 
   void reset_counters() {
-    transmissions_ = deliveries_ = losses_ = 0;
-    blocked_transmissions_ = blocked_receptions_ = 0;
+    transmissions_->reset();
+    deliveries_->reset();
+    losses_->reset();
+    blocked_transmissions_->reset();
+    blocked_receptions_->reset();
   }
 
  private:
+  std::uint32_t trace_id(const Packet& packet) const {
+    if (trace_ == nullptr || !trace_->enabled() || !packet_id_) return 0;
+    return packet_id_(packet);
+  }
+  void trace(obsx::TraceKind kind, NodeId node, std::uint32_t pid,
+             std::uint32_t payload = obsx::kTraceNone) {
+    if (trace_ == nullptr) return;
+    trace_->record(kind, sim_.now(), static_cast<std::uint32_t>(node), pid, payload);
+  }
+
   Simulator& sim_;
   const graphx::Graph& topology_;
   MediumConfig config_;
@@ -120,11 +177,14 @@ class BroadcastMedium {
   DeliveryFn deliver_;
   NodeUpFn node_up_;
   LinkLossFn link_loss_;
-  std::size_t transmissions_ = 0;
-  std::size_t deliveries_ = 0;
-  std::size_t losses_ = 0;
-  std::size_t blocked_transmissions_ = 0;
-  std::size_t blocked_receptions_ = 0;
+  obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()
+  obsx::Counter* transmissions_;
+  obsx::Counter* deliveries_;
+  obsx::Counter* losses_;
+  obsx::Counter* blocked_transmissions_;
+  obsx::Counter* blocked_receptions_;
+  obsx::TraceBuffer* trace_ = nullptr;
+  PacketIdFn packet_id_;
 };
 
 }  // namespace citymesh::sim

@@ -4,6 +4,7 @@ namespace citymesh::sim {
 
 void Simulator::schedule_at(SimTime t, Handler fn) {
   if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
+  if (latency_) latency_->record(t - now_);
   queue_.push({t, next_seq_++, std::move(fn)});
 }
 

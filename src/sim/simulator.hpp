@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obsx/metrics.hpp"
+
 namespace citymesh::sim {
 
 /// Simulated time in seconds.
@@ -41,6 +43,13 @@ class Simulator {
   std::size_t pending() const { return queue_.size(); }
   std::size_t events_processed() const { return processed_; }
 
+  /// Attach a histogram recording, per scheduled event, how long it will sit
+  /// in the queue (execution time minus schedule time, simulated seconds —
+  /// events run exactly at their timestamp, so the latency is known at
+  /// schedule time). nullptr detaches. The histogram must outlive the
+  /// simulator.
+  void set_latency_histogram(obsx::Histogram* hist) { latency_ = hist; }
+
  private:
   struct Event {
     SimTime time;
@@ -57,6 +66,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
+  obsx::Histogram* latency_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -101,4 +101,14 @@ std::size_t header_bits(const PacketHeader& h) {
   return bits;
 }
 
+std::uint32_t derive_message_id(std::uint64_t seed, std::uint64_t sequence) {
+  // splitmix64 finalizer over (seed, sequence); fold to 32 bits.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (sequence + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const auto id = static_cast<std::uint32_t>(z ^ (z >> 32));
+  return id == 0 ? 1u : id;
+}
+
 }  // namespace citymesh::wire

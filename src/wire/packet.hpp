@@ -81,4 +81,12 @@ PacketHeader decode_header(std::span<const std::uint8_t> bytes);
 /// Exact encoded size in bits without materializing the buffer.
 std::size_t header_bits(const PacketHeader& h);
 
+/// Deterministic duplicate-suppression message id for the `sequence`-th
+/// message of a run seeded with `seed`. A splitmix64-style mix keeps ids
+/// well spread (collision-resistant within a run) while making them stable
+/// across runs and independent of unrelated RNG draws — which is what lets
+/// a recorded trace (src/obsx) name packets reproducibly. Never returns 0
+/// (0 means "unset" throughout).
+std::uint32_t derive_message_id(std::uint64_t seed, std::uint64_t sequence);
+
 }  // namespace citymesh::wire

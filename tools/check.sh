@@ -1,5 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 verification gate: configure, build, run the full test suite.
+# Tier-1 verification gate: configure, build, run the full test suite, then
+# smoke-check the observability layer (trace capture -> validation, bench
+# manifest emission) and re-run the obsx tests under ASan+UBSan.
 # Exits nonzero on the first failure — the entry point a CI workflow calls.
 #
 # Usage: tools/check.sh [build-dir] [extra cmake args...]
@@ -14,3 +16,35 @@ build_dir=${1:-"${repo_root}/build"}
 cmake -B "${build_dir}" -S "${repo_root}" "$@"
 cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+# --- Observability smoke: a traced delivery must round-trip through the
+# JSONL file and validate, and a bench must emit a parseable manifest.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "${smoke_dir}"' EXIT
+
+cli="${build_dir}/tools/citymesh"
+"${cli}" send boston 10 200 --trace "${smoke_dir}/send.jsonl" >/dev/null || true
+[ -s "${smoke_dir}/send.jsonl" ] || {
+  echo "check.sh: citymesh send --trace wrote no events" >&2; exit 1; }
+"${cli}" trace "${smoke_dir}/send.jsonl" | grep -q "originate" || {
+  echo "check.sh: trace validation found no originate event" >&2; exit 1; }
+
+"${build_dir}/bench/ablation_width" --json "${smoke_dir}/bench.json" >/dev/null
+for key in '"schema"' '"citymesh-manifest-v1"' '"digest"' '"metrics"' \
+           '"medium.transmissions"' '"net.delivered"' '"wall_clock_s"'; do
+  grep -q -- "${key}" "${smoke_dir}/bench.json" || {
+    echo "check.sh: bench manifest missing ${key}" >&2; exit 1; }
+done
+echo "check.sh: obsx smoke (trace round-trip + bench manifest) OK"
+
+# --- The obsx buffer/JSONL code is pointer-heavy; run its tests under
+# ASan+UBSan in a separate tree (skipped if that tree's configure fails,
+# e.g. no sanitizer runtime on minimal images).
+san_dir="${build_dir}-asan"
+if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; then
+  cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" --target test_obsx
+  "${san_dir}/tests/test_obsx"
+  echo "check.sh: test_obsx clean under ASan+UBSan"
+else
+  echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
+fi

@@ -8,6 +8,7 @@
 //   islands <city> [--bridge]    island analysis, optionally plan bridges
 //   send <city> <from> <to>      simulate one end-to-end sealed message
 //   scenario <city> [opts]       replay a disaster scenario (src/faultx)
+//   trace <file.jsonl> [opts]    validate / summarize / filter a trace
 //
 // Common options:
 //   --range METERS        transmission range        (default 50)
@@ -26,13 +27,22 @@
 //                         restoration runs
 //   --svg FILE            render the worst checkpoint's fault state + one
 //                         traced delivery attempt
+//
+// Trace options:
+//   --trace FILE          (send/scenario) record every packet/fault event
+//                         into FILE as JSON Lines (see src/obsx/trace.hpp)
+//   --kind K --node N --packet P
+//                         (trace) keep only matching events; matches are
+//                         reprinted as JSONL before the summary
 #include <algorithm>
 #include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +56,7 @@
 #include "measure/survey.hpp"
 #include "measure/survey_stats.hpp"
 #include "mesh/islands.hpp"
+#include "obsx/trace.hpp"
 #include "osmx/citygen.hpp"
 #include "osmx/osm_xml.hpp"
 #include "viz/ascii.hpp"
@@ -67,6 +78,10 @@ struct Options {
   std::string osm_file;
   std::string spec_file;
   std::string svg_file;
+  std::string trace_file;
+  std::string kind_filter;
+  std::optional<std::uint32_t> node_filter;
+  std::optional<std::uint32_t> packet_filter;
   std::vector<std::string> positional;
 };
 
@@ -80,9 +95,12 @@ int usage() {
       "  islands <city> [--bridge]  island analysis / gap bridging\n"
       "  send <city> <from> <to>    one sealed end-to-end message\n"
       "  scenario <city>            replay a disaster scenario (faultx)\n"
+      "  trace <file.jsonl>         validate / summarize / filter a trace\n"
       "options: --range M --density M2 --width M --pairs N --deliver N\n"
       "         --seed N --suppression --shadowed --osm FILE\n"
-      "         --spec FILE --svg FILE (scenario)\n";
+      "         --spec FILE --svg FILE (scenario)\n"
+      "         --trace FILE (send/scenario)\n"
+      "         --kind K --node N --packet P (trace)\n";
   return 2;
 }
 
@@ -144,6 +162,20 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       const auto v = next();
       if (!v) return std::nullopt;
       opts.svg_file = *v;
+    } else if (arg == "--trace") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.trace_file = *v;
+    } else if (arg == "--kind") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.kind_filter = *v;
+    } else if (arg == "--node" || arg == "--packet") {
+      std::uint64_t n = 0;
+      const auto v = next();
+      if (!v || !parse_u64(*v, n) || n > 0xffffffffull) return std::nullopt;
+      (arg == "--node" ? opts.node_filter : opts.packet_filter) =
+          static_cast<std::uint32_t>(n);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << '\n';
       return std::nullopt;
@@ -186,6 +218,22 @@ core::NetworkConfig network_config(const Options& opts) {
   cfg.conduit.width_m = opts.width_m;
   cfg.building_suppression = opts.suppression;
   return cfg;
+}
+
+// Flush a network's recorded trace to disk (send/scenario --trace FILE).
+int write_trace_file(const core::CityMeshNetwork& net, const std::string& path) {
+  std::ofstream out{path};
+  if (out) obsx::write_trace_jsonl(out, net.trace());
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << path << " (" << net.trace().size() << " trace events";
+  if (net.trace().lost() > 0) {
+    std::cout << ", " << net.trace().lost() << " oldest lost to ring wrap";
+  }
+  std::cout << ")\n";
+  return 0;
 }
 
 int cmd_profiles() {
@@ -321,6 +369,7 @@ int cmd_send(const Options& opts) {
     return 2;
   }
   core::CityMeshNetwork net{*city, network_config(opts)};
+  if (!opts.trace_file.empty()) net.trace().enable();
   const auto alice = cryptox::KeyPair::from_seed(opts.seed + 1);
   const auto bob = cryptox::KeyPair::from_seed(opts.seed + 2);
   const auto info = core::PostboxInfo::for_key(bob, static_cast<osmx::BuildingId>(to));
@@ -343,6 +392,9 @@ int cmd_send(const Options& opts) {
               << outcome.transmissions << " broadcasts";
     if (const auto oh = outcome.overhead()) std::cout << " (" << viz::fmt(*oh, 1) << "x)";
     std::cout << '\n';
+  }
+  if (!opts.trace_file.empty() && write_trace_file(net, opts.trace_file) != 0) {
+    return 1;
   }
   return outcome.delivered ? 0 : 1;
 }
@@ -406,6 +458,7 @@ int cmd_scenario(const Options& opts) {
   cfg.snapshot.deliver_pairs = opts.deliver;
 
   core::CityMeshNetwork network{*city, network_config(opts)};
+  if (!opts.trace_file.empty()) network.trace().enable();
   const auto trace = faultx::evaluate_scenario(network, parsed.scenario, cfg);
 
   std::cout << "scenario '" << trace.scenario << "' on " << city->name() << ": "
@@ -425,6 +478,11 @@ int cmd_scenario(const Options& opts) {
                    {"t", "APs up", "up frac", "reach", "deliver", "rescued",
                     "deliver+rescue"},
                    rows);
+
+  if (!opts.trace_file.empty() &&
+      write_trace_file(network, opts.trace_file) != 0) {
+    return 1;
+  }
 
   if (opts.svg_file.empty()) return 0;
 
@@ -480,6 +538,76 @@ int cmd_scenario(const Options& opts) {
   return 0;
 }
 
+// Validate a recorded JSONL trace, optionally filter it, and summarize.
+// Matching events are reprinted as JSONL (pipe them into another file to
+// extract one packet's story); the summary counts events per kind.
+int cmd_trace(const Options& opts) {
+  if (opts.positional.empty()) {
+    std::cerr << "usage: citymesh trace <file.jsonl> [--kind K] [--node N] "
+                 "[--packet P]\n";
+    return 2;
+  }
+  const std::string& path = opts.positional[0];
+  std::ifstream file{path};
+  if (!file) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  std::string error;
+  const auto events = obsx::read_trace_jsonl(file, &error);
+  if (!events) {
+    std::cerr << path << ": " << error << '\n';
+    return 1;
+  }
+
+  std::optional<obsx::TraceKind> kind;
+  if (!opts.kind_filter.empty()) {
+    kind = obsx::trace_kind_from(opts.kind_filter);
+    if (!kind) {
+      std::cerr << "unknown event kind '" << opts.kind_filter << "'\n";
+      return 2;
+    }
+  }
+  const bool filtering = kind || opts.node_filter || opts.packet_filter;
+
+  std::map<obsx::TraceKind, std::size_t> per_kind;
+  std::set<std::uint32_t> nodes;
+  std::set<std::uint32_t> packets;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  std::size_t matched = 0;
+  for (const auto& e : *events) {
+    if (kind && e.kind != *kind) continue;
+    if (opts.node_filter && e.node != *opts.node_filter) continue;
+    if (opts.packet_filter && e.packet != *opts.packet_filter) continue;
+    if (matched == 0) t_min = t_max = e.time_s;
+    t_min = std::min(t_min, e.time_s);
+    t_max = std::max(t_max, e.time_s);
+    ++matched;
+    ++per_kind[e.kind];
+    if (e.node != obsx::kTraceNone) nodes.insert(e.node);
+    if (e.packet != 0) packets.insert(e.packet);
+    if (filtering) std::cout << obsx::trace_line(e) << '\n';
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [k, count] : per_kind) {
+    rows.push_back({std::string{obsx::to_string(k)}, std::to_string(count)});
+  }
+  viz::print_table(std::cout,
+                   path + ": " + std::to_string(matched) +
+                       (filtering ? " matching" : "") + " of " +
+                       std::to_string(events->size()) + " events",
+                   {"kind", "count"}, rows);
+  if (matched > 0) {
+    std::cout << "  time span: " << viz::fmt(t_min, 6) << " .. "
+              << viz::fmt(t_max, 6) << " s\n";
+  }
+  std::cout << "  nodes: " << nodes.size() << "  packets: " << packets.size()
+            << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -499,5 +627,6 @@ int main(int argc, char** argv) {
   }
   if (cmd == "send") return cmd_send(*opts);
   if (cmd == "scenario") return cmd_scenario(*opts);
+  if (cmd == "trace") return cmd_trace(*opts);
   return usage();
 }
