@@ -15,8 +15,11 @@
 #include "cryptox/sha256.hpp"
 #include "geo/rng.hpp"
 #include "geo/spatial_grid.hpp"
+#include "graphx/graph.hpp"
 #include "osmx/citygen.hpp"
+#include "sim/medium.hpp"
 #include "sim/simulator.hpp"
+#include "trafficx/workload.hpp"
 #include "wire/packet.hpp"
 
 namespace core = citymesh::core;
@@ -160,6 +163,53 @@ static void BM_EventEngineThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventEngineThroughput)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------- traffic ---
+
+static void BM_FlowScheduleCompile(benchmark::State& state) {
+  citymesh::trafficx::WorkloadSpec spec;
+  spec.seed = 9;
+  spec.duration_s = 20.0;
+  spec.rate_per_s = 64.0;
+  spec.spatial = citymesh::trafficx::SpatialMode::kHotspot;
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    const auto schedule = citymesh::trafficx::compile(spec, boston());
+    flows = schedule.flows.size();
+    benchmark::DoNotOptimize(schedule.digest());
+  }
+  state.SetLabel(std::to_string(flows) + " flows");
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowScheduleCompile)->Unit(benchmark::kMillisecond);
+
+// The per-packet cost a saturated AP pays: a transmit that finds the channel
+// busy takes the deferral fast path (queue push, no event scheduled). The
+// drain at the end amortizes the completion/fan-out machinery over the batch.
+static void BM_MediumBusyChannelDefer(benchmark::State& state) {
+  using Medium = citymesh::sim::BroadcastMedium<int>;
+  constexpr int kBatch = 64;
+  citymesh::graphx::GraphBuilder builder{2};
+  builder.add_edge(0, 1, 10.0);
+  const citymesh::graphx::Graph topology = builder.build();
+  citymesh::sim::MediumConfig config;
+  config.prop_delay_s_per_m = 0.0;
+  config.jitter_s = 0.0;
+  config.bitrate_bps = 1e6;
+  config.frame_overhead_bits = 1000;
+  config.tx_queue_capacity = kBatch;
+  const auto packet = std::make_shared<const int>(7);
+  for (auto _ : state) {
+    citymesh::sim::Simulator s;
+    Medium medium{s, topology, config};
+    // First transmit claims the channel; the rest hit the busy path.
+    for (int i = 0; i < kBatch; ++i) medium.transmit(0, packet);
+    s.run();
+    benchmark::DoNotOptimize(medium.deferrals());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MediumBusyChannelDefer);
 
 // --------------------------------------------------------------- crypto ---
 

@@ -167,4 +167,35 @@ MultiSeedEvaluation evaluate_city_seeds(const osmx::City& city,
   return multi;
 }
 
+CapacitySummary summarize_capacity(std::span<const FlowRecord> flows,
+                                   double duration_s, std::uint64_t queue_drops,
+                                   std::uint64_t deferrals, double airtime_s) {
+  CapacitySummary out;
+  out.duration_s = duration_s;
+  out.queue_drops = queue_drops;
+  out.deferrals = deferrals;
+  out.airtime_s = airtime_s;
+
+  std::vector<double> latencies;
+  double delivered_bytes = 0.0;
+  for (const FlowRecord& f : flows) {
+    ++out.flows_offered;
+    if (!f.injected) continue;
+    ++out.flows_injected;
+    if (!f.delivered) continue;
+    ++out.flows_delivered;
+    delivered_bytes += static_cast<double>(f.payload_bytes);
+    latencies.push_back(f.latency_s);
+  }
+  if (duration_s > 0.0) {
+    out.offered_load_per_s = static_cast<double>(out.flows_offered) / duration_s;
+    out.goodput_bytes_per_s = delivered_bytes / duration_s;
+  }
+  if (!latencies.empty()) {
+    out.latency_p50_s = geo::quantile(latencies, 0.5);
+    out.latency_p99_s = geo::quantile(latencies, 0.99);
+  }
+  return out;
+}
+
 }  // namespace citymesh::core

@@ -11,6 +11,7 @@
 // through the full simulation (Figure 6).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -137,5 +138,46 @@ struct NetworkSnapshot {
 /// regions). Sampling is deterministic in config.seed, so the same seed
 /// re-measures the same pairs at every checkpoint of a scenario.
 NetworkSnapshot evaluate_snapshot(CityMeshNetwork& network, const SnapshotConfig& config);
+
+// --- Capacity accounting (src/trafficx workloads) --------------------------
+
+/// Fate of one injected flow of a traffic workload.
+struct FlowRecord {
+  double start_s = 0.0;           ///< scheduled injection time
+  std::size_t payload_bytes = 0;
+  bool injected = false;          ///< false: no route or dead source AP
+  bool delivered = false;
+  double latency_s = 0.0;         ///< injection -> first postbox store
+};
+
+/// Aggregate capacity metrics of one workload run at one offered load —
+/// one point of the goodput/latency-vs-load curve (bench/fig9_capacity).
+struct CapacitySummary {
+  std::size_t flows_offered = 0;    ///< scheduled flows
+  std::size_t flows_injected = 0;   ///< reached the medium
+  std::size_t flows_delivered = 0;
+  double duration_s = 0.0;          ///< workload duration (offered-load window)
+  double offered_load_per_s = 0.0;  ///< flows_offered / duration
+  double delivery_rate() const {
+    return flows_offered ? static_cast<double>(flows_delivered) / flows_offered : 0.0;
+  }
+  /// Delivered payload bytes per second of workload duration.
+  double goodput_bytes_per_s = 0.0;
+  double latency_p50_s = 0.0;  ///< over delivered flows (0 when none)
+  double latency_p99_s = 0.0;
+
+  // Contention evidence, from the medium's counters: drops/deferrals rise
+  // past the capacity knee while goodput flattens.
+  std::uint64_t queue_drops = 0;
+  std::uint64_t deferrals = 0;
+  double airtime_s = 0.0;  ///< summed channel-busy time across all APs
+};
+
+/// Fold per-flow records plus the medium's contention counters into one
+/// capacity row. `duration_s` is the offered-load window (not the drain
+/// tail); pass the medium's post-run totals for the last three.
+CapacitySummary summarize_capacity(std::span<const FlowRecord> flows,
+                                   double duration_s, std::uint64_t queue_drops,
+                                   std::uint64_t deferrals, double airtime_s);
 
 }  // namespace citymesh::core

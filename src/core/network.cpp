@@ -45,6 +45,10 @@ CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
   // decoded message id.
   medium_.bind_metrics(metrics_);
   medium_.set_trace(&trace_, [](const MeshPacket& p) { return p.trace_id; });
+  // Airtime accounting charges the packet's wire size (contention model).
+  medium_.set_packet_bits([](const MeshPacket& p) {
+    return (p.header_bytes.size() + p.payload.size()) * 8;
+  });
   sim_.set_latency_histogram(
       &metrics_.histogram("sim.event_latency_s", obsx::exponential_buckets(1e-4, 4.0, 10)));
   n_sends_ = &metrics_.counter("net.sends");
@@ -218,9 +222,9 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
         geo::distance(aps_.ap(from).position, aps_.ap(to).position) <=
             config_.suppression_radius_m) {
       const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
-      if (const auto it = active_.pending.find(key); it != active_.pending.end()) {
+      if (const auto it = pending_.find(key); it != pending_.end()) {
         *it->second = true;  // cancelled
-        active_.pending.erase(it);
+        pending_.erase(it);
         n_suppression_cancelled_->inc();
       }
     }
@@ -232,7 +236,14 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
     trace_.record(obsx::TraceKind::kPostboxStore, sim_.now(), node,
                   action.message_id,
                   static_cast<std::uint32_t>(action.delivered_count));
-    if (action.message_id == active_.message_id) {
+    if (const auto flow = flows_.find(action.message_id); flow != flows_.end()) {
+      flow->second.postboxes_reached += action.delivered_count;
+      if (!flow->second.delivered) {
+        flow->second.delivered = true;
+        flow->second.delivery_time_s = sim_.now();
+        n_delivered_->inc();
+      }
+    } else if (action.message_id == active_.message_id) {
       active_.postboxes_reached += action.delivered_count;
       if (!active_.delivered) {
         active_.delivered = true;
@@ -256,12 +267,12 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
     } else {
       const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
       auto cancelled = std::make_shared<bool>(false);
-      active_.pending[key] = cancelled;
+      pending_[key] = cancelled;
       const sim::SimTime backoff =
           message_rng_.uniform(0.0, config_.suppression_backoff_s);
       sim_.schedule_in(backoff, [this, to, packet, key, cancelled] {
         if (*cancelled) return;
-        active_.pending.erase(key);
+        pending_.erase(key);
         transmit_counted(to, packet);
       });
     }
@@ -314,6 +325,7 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
 
   // Reset per-send bookkeeping.
   active_ = ActiveSend{};
+  pending_.clear();
   active_.message_id = header.message_id;
   active_.conduit_width_m = route->conduit_width_m;
   if (opts.request_ack && opts.ack_to) {
@@ -400,6 +412,68 @@ SendOutcome CityMeshNetwork::send(BuildingId from_building, const PostboxInfo& t
                                   const SendOptions& opts) {
   return run_send(from_building, to, payload, opts, /*extra_flags=*/0,
                   /*broadcast_radius_m=*/0);
+}
+
+InjectResult CityMeshNetwork::inject(BuildingId from_building, const PostboxInfo& to,
+                                     std::span<const std::uint8_t> payload,
+                                     const SendOptions& opts) {
+  InjectResult result;
+
+  const ConduitConfig conduit{opts.conduit_width.value_or(config_.conduit.width_m)};
+  const RoutePlanner planner{map_, conduit};
+  const auto route = opts.compress ? planner.plan(from_building, to.building)
+                                   : planner.plan_uncompressed(from_building, to.building);
+  if (!route) return result;
+  result.route_found = true;
+
+  const auto src_ap = live_ap(from_building);
+  if (!src_ap) return result;
+  result.source_has_ap = true;
+
+  wire::PacketHeader header;
+  header.message_id = wire::derive_message_id(config_.seed, ++send_seq_);
+  header.postbox_tag = to.id.tag();
+  header.conduit_width_m = route->conduit_width_m;
+  header.waypoints = route->waypoints;
+  if (opts.urgent) header.set_flag(wire::PacketFlag::kUrgent);
+  const auto encoded = wire::encode_header(header);
+  result.message_id = header.message_id;
+  result.header_bits = encoded.bit_count;
+
+  auto packet = std::make_shared<const MeshPacket>(MeshPacket{
+      encoded.bytes, std::vector<std::uint8_t>{payload.begin(), payload.end()},
+      header.message_id});
+
+  FlowState& flow = flows_[header.message_id];
+  flow.injected_at_s = sim_.now();
+
+  n_sends_->inc();
+  h_header_bits_->record(static_cast<double>(encoded.bit_count));
+  trace_.record(obsx::TraceKind::kOriginate, sim_.now(),
+                static_cast<std::uint32_t>(*src_ap), header.message_id);
+
+  // The source AP processes its own packet (marks it seen, may deliver when
+  // sender and recipient share a building) and performs the initial
+  // broadcast; the caller runs the simulator.
+  ApAgent& src_agent = agents_[*src_ap];
+  const AgentAction first = src_agent.on_receive(*packet, sim_.now());
+  if (first.delivered) {
+    flow.delivered = true;
+    flow.delivery_time_s = sim_.now();
+    flow.postboxes_reached += first.delivered_count;
+    n_delivered_->inc();
+    n_postbox_stores_->inc(first.delivered_count);
+    trace_.record(obsx::TraceKind::kPostboxStore, sim_.now(),
+                  static_cast<std::uint32_t>(*src_ap), header.message_id,
+                  static_cast<std::uint32_t>(first.delivered_count));
+  }
+  transmit_counted(*src_ap, packet);
+  return result;
+}
+
+const FlowState* CityMeshNetwork::flow_state(std::uint32_t message_id) const {
+  const auto it = flows_.find(message_id);
+  return it == flows_.end() ? nullptr : &it->second;
 }
 
 ReliableOutcome CityMeshNetwork::send_reliable(BuildingId from_building,

@@ -144,6 +144,28 @@ struct ReliableOutcome {
   std::vector<SendOutcome> tries;
 };
 
+/// Immediate result of injecting one flow into the live simulation
+/// (src/trafficx workloads). Unlike `send`, injection does not run the
+/// event loop: many flows coexist in flight and contend for airtime; the
+/// caller runs the simulator once and reads each flow's FlowState after.
+struct InjectResult {
+  bool route_found = false;
+  bool source_has_ap = false;
+  /// 0 when the flow could not be injected (no route / dead source).
+  std::uint32_t message_id = 0;
+  std::size_t header_bits = 0;
+  bool accepted() const { return message_id != 0; }
+};
+
+/// Delivery bookkeeping of one injected flow, updated live as the
+/// simulation progresses.
+struct FlowState {
+  double injected_at_s = 0.0;
+  bool delivered = false;
+  double delivery_time_s = 0.0;
+  std::size_t postboxes_reached = 0;
+};
+
 /// Result of a geo-broadcast.
 struct BroadcastOutcome {
   bool route_found = false;
@@ -185,6 +207,21 @@ class CityMeshNetwork {
   /// for this message to quiescence before returning.
   SendOutcome send(BuildingId from_building, const PostboxInfo& to,
                    std::span<const std::uint8_t> payload, const SendOptions& opts = {});
+
+  /// Inject one flow at the current simulated time without running the
+  /// event loop: plan, encode, and broadcast from the source AP, then
+  /// return. Concurrent injected flows share the medium and contend for
+  /// airtime (sim::MediumConfig::bitrate_bps). Ack options are ignored.
+  /// Read the flow's fate with flow_state() after running the simulator.
+  InjectResult inject(BuildingId from_building, const PostboxInfo& to,
+                      std::span<const std::uint8_t> payload, const SendOptions& opts = {});
+
+  /// Live bookkeeping of an injected flow; nullptr for unknown ids.
+  const FlowState* flow_state(std::uint32_t message_id) const;
+  /// Number of injected flows being tracked.
+  std::size_t flow_count() const { return flows_.size(); }
+  /// Forget all injected-flow bookkeeping (between workload runs).
+  void clear_flow_states() { flows_.clear(); }
 
   /// Retry with escalating conduit widths until the sender's postbox
   /// (`ack_to`) receives a delivery acknowledgment. Widths must be valid
@@ -328,12 +365,17 @@ class CityMeshNetwork {
     double conduit_width_m = 50.0;
     bool ack_sent = false;
     bool ack_delivered = false;
-
-    // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap);
-    // the bool flips when an overheard same-building copy cancels them.
-    std::unordered_map<std::uint64_t, std::shared_ptr<bool>> pending;
   };
   ActiveSend active_;
+
+  // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap); the
+  // bool flips when an overheard same-building copy cancels them. Shared by
+  // the single-send path (cleared per send) and injected flows.
+  std::unordered_map<std::uint64_t, std::shared_ptr<bool>> pending_;
+
+  // Injected-flow bookkeeping (src/trafficx), keyed by message id. The
+  // single-send path never touches this map.
+  std::unordered_map<std::uint32_t, FlowState> flows_;
 };
 
 }  // namespace citymesh::core

@@ -16,7 +16,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 14> kKindNames{{
+constexpr std::array<KindName, 16> kKindNames{{
     {TraceKind::kOriginate, "originate"},
     {TraceKind::kTx, "tx"},
     {TraceKind::kRx, "rx"},
@@ -27,6 +27,8 @@ constexpr std::array<KindName, 14> kKindNames{{
     {TraceKind::kAck, "ack"},
     {TraceKind::kDropFaulted, "drop-faulted"},
     {TraceKind::kDropLoss, "drop-loss"},
+    {TraceKind::kDeferred, "deferred"},
+    {TraceKind::kDropQueue, "drop-queue"},
     {TraceKind::kApDown, "ap-down"},
     {TraceKind::kApUp, "ap-up"},
     {TraceKind::kRegionDegrade, "region-degrade"},

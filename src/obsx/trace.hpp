@@ -37,6 +37,8 @@ enum class TraceKind : std::uint8_t {
   kAck,            ///< acknowledgment packet originated
   kDropFaulted,    ///< tx/rx swallowed because the node is down (faultx)
   kDropLoss,       ///< per-link random loss
+  kDeferred,       ///< tx queued behind the AP's busy channel (trafficx)
+  kDropQueue,      ///< tx dropped: transmit queue full (trafficx)
   kApDown,         ///< fault action: AP went down
   kApUp,           ///< fault action: AP restored
   kRegionDegrade,  ///< fault action: degraded-link region activated

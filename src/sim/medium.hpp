@@ -12,17 +12,38 @@
 // is in flight still misses it) and a per-link extra-loss function
 // (regional interference / degraded-link scenarios).
 //
+// Airtime contention (src/trafficx): with MediumConfig::bitrate_bps > 0 the
+// fixed tx_delay_s is replaced by a per-packet serialization delay derived
+// from the packet's wire bits (set_packet_bits) plus PHY/MAC framing, and
+// each node becomes a half-duplex transmitter with a finite FIFO queue: a
+// transmit issued while the node's channel is busy defers behind the
+// in-flight packet, and once the queue is full further transmits drop
+// (medium.queue_drops). This is what makes concurrent rebroadcast storms
+// from overlapping conduits collide in time instead of sailing through for
+// free. bitrate_bps == 0 keeps the paper's §4 regime: airtime is free and
+// transmissions never defer.
+//
+// Determinism: loss and jitter draw from *independent* seeded streams, so
+// toggling jitter_s on or off never changes which deliveries are lost, and a
+// zero jitter_s performs no jitter draws at all — packet-level loss draw
+// counts (and thus determinism digests) are identical between jittered and
+// unjittered configs.
+//
 // Observability: the medium's tally is the authoritative transmission /
 // delivery count (src/obsx) — bind_metrics() repoints the counters into a
 // shared MetricsRegistry so evaluation and benches read the same numbers the
 // medium wrote, and set_trace() attaches a TraceBuffer that receives one
-// kTx/kRx/kDropLoss/kDropFaulted event per physical-layer action.
+// kTx/kRx/kDropLoss/kDropFaulted/kDeferred/kDropQueue event per
+// physical-layer action.
 #pragma once
 
+#include <cmath>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "geo/rng.hpp"
 #include "graphx/graph.hpp"
@@ -35,7 +56,8 @@ namespace citymesh::sim {
 using NodeId = graphx::VertexId;
 
 struct MediumConfig {
-  /// Fixed per-packet transmission (serialization) delay, seconds.
+  /// Fixed per-packet transmission (serialization) delay, seconds. Only
+  /// used when bitrate_bps == 0 (no contention model).
   SimTime tx_delay_s = 1e-3;
   /// Propagation delay per meter of link length, seconds. Edge weights in
   /// the topology graph are interpreted as link lengths in meters.
@@ -46,6 +68,18 @@ struct MediumConfig {
   /// Independent per-link loss probability.
   double loss_probability = 0.0;
   std::uint64_t seed = 7;
+
+  // --- Airtime contention (src/trafficx) ---------------------------------
+  /// Channel bitrate. > 0 enables the contention model: serialization delay
+  /// becomes (frame_overhead_bits + packet bits) / bitrate_bps, nodes are
+  /// half-duplex, and concurrent transmits defer or drop. 0 disables it.
+  double bitrate_bps = 0.0;
+  /// PHY/MAC framing bits charged per packet on top of its own header and
+  /// payload bits (preamble, MAC header, FCS, IFS equivalent).
+  std::size_t frame_overhead_bits = 400;
+  /// Transmit-queue slots behind the in-flight packet; a transmit arriving
+  /// with the queue full is dropped and counted (medium.queue_drops).
+  std::size_t tx_queue_capacity = 8;
 };
 
 template <typename Packet>
@@ -60,14 +94,25 @@ class BroadcastMedium {
   using LinkLossFn = std::function<double(NodeId from, NodeId to)>;
   /// Stable trace id of a packet (a decoded message id, not a pointer).
   using PacketIdFn = std::function<std::uint32_t(const Packet&)>;
+  /// Wire size of a packet in bits (header + payload); feeds the
+  /// serialization delay when the contention model is on.
+  using PacketBitsFn = std::function<std::size_t(const Packet&)>;
 
   BroadcastMedium(Simulator& simulator, const graphx::Graph& topology, MediumConfig config)
-      : sim_(simulator), topology_(topology), config_(config), rng_(config.seed) {
+      : sim_(simulator),
+        topology_(topology),
+        config_(config),
+        loss_rng_(config.seed),
+        jitter_rng_(config.seed ^ kJitterStream),
+        tx_state_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0) {
     transmissions_ = &own_.counter("transmissions");
     deliveries_ = &own_.counter("deliveries");
     losses_ = &own_.counter("losses");
     blocked_transmissions_ = &own_.counter("blocked_transmissions");
     blocked_receptions_ = &own_.counter("blocked_receptions");
+    deferrals_ = &own_.counter("deferrals");
+    queue_drops_ = &own_.counter("queue_drops");
+    airtime_us_ = &own_.counter("airtime_us");
   }
 
   void set_delivery_handler(DeliveryFn fn) { deliver_ = std::move(fn); }
@@ -78,6 +123,10 @@ class BroadcastMedium {
 
   /// Install a live per-link extra-loss function. Pass nullptr to clear.
   void set_link_loss(LinkLossFn fn) { link_loss_ = std::move(fn); }
+
+  /// Install the packet-bits hook the contention model charges airtime by.
+  /// Without it only frame_overhead_bits are charged per packet.
+  void set_packet_bits(PacketBitsFn fn) { packet_bits_ = std::move(fn); }
 
   /// Repoint the medium's counters into `registry` under `<prefix>.*` so
   /// consumers read the medium's own tally instead of keeping a parallel
@@ -90,6 +139,9 @@ class BroadcastMedium {
     losses_ = &registry.counter(p + ".losses");
     blocked_transmissions_ = &registry.counter(p + ".blocked_transmissions");
     blocked_receptions_ = &registry.counter(p + ".blocked_receptions");
+    deferrals_ = &registry.counter(p + ".deferrals");
+    queue_drops_ = &registry.counter(p + ".queue_drops");
+    airtime_us_ = &registry.counter(p + ".airtime_us");
   }
 
   /// Attach a trace buffer; `id_fn` extracts the stable packet id recorded
@@ -101,30 +153,121 @@ class BroadcastMedium {
 
   bool node_up(NodeId node) const { return !node_up_ || node_up_(node); }
 
-  /// Broadcast `packet` from `from` to all topology neighbors.
+  bool contention_enabled() const { return config_.bitrate_bps > 0.0; }
+
+  /// Broadcast `packet` from `from` to all topology neighbors. With the
+  /// contention model on, a busy transmitter defers the packet into its
+  /// FIFO queue (or drops it when the queue is full).
   void transmit(NodeId from, std::shared_ptr<const Packet> packet) {
-    const std::uint32_t pid = trace_id(*packet);
     if (!node_up(from)) {
       blocked_transmissions_->inc();
-      trace(obsx::TraceKind::kDropFaulted, from, pid);
+      trace(obsx::TraceKind::kDropFaulted, from, trace_id(*packet));
       return;
     }
+    if (contention_enabled()) {
+      TxState& tx = tx_state_[from];
+      if (tx.busy_until > sim_.now() || !tx.queue.empty()) {
+        if (tx.queue.size() >= config_.tx_queue_capacity) {
+          queue_drops_->inc();
+          trace(obsx::TraceKind::kDropQueue, from, trace_id(*packet));
+        } else {
+          deferrals_->inc();
+          trace(obsx::TraceKind::kDeferred, from, trace_id(*packet));
+          tx.queue.push_back(std::move(packet));
+        }
+        return;
+      }
+    }
+    begin_transmission(from, std::move(packet));
+  }
+
+  /// Total broadcasts initiated (the paper's "number of packet broadcasts").
+  std::size_t transmissions() const { return transmissions_->value(); }
+  /// Per-link deliveries (each broadcast fans out to its neighbors).
+  std::size_t deliveries() const { return deliveries_->value(); }
+  std::size_t losses() const { return losses_->value(); }
+  /// Broadcasts swallowed because the transmitter was down.
+  std::size_t blocked_transmissions() const { return blocked_transmissions_->value(); }
+  /// In-flight deliveries dropped because the receiver was down.
+  std::size_t blocked_receptions() const { return blocked_receptions_->value(); }
+  /// Transmits queued behind a busy channel (contention model).
+  std::size_t deferrals() const { return deferrals_->value(); }
+  /// Transmits dropped because the node's queue was full (contention model).
+  std::size_t queue_drops() const { return queue_drops_->value(); }
+
+  /// Cumulative on-air seconds of one node (contention model; 0 otherwise).
+  double airtime_s(NodeId node) const {
+    return node < tx_state_.size() ? tx_state_[node].airtime_s : 0.0;
+  }
+  /// Cumulative on-air seconds across every node.
+  double total_airtime_s() const {
+    double total = 0.0;
+    for (const TxState& tx : tx_state_) total += tx.airtime_s;
+    return total;
+  }
+  /// Packets currently waiting in one node's transmit queue.
+  std::size_t queued(NodeId node) const {
+    return node < tx_state_.size() ? tx_state_[node].queue.size() : 0;
+  }
+
+  void reset_counters() {
+    transmissions_->reset();
+    deliveries_->reset();
+    losses_->reset();
+    blocked_transmissions_->reset();
+    blocked_receptions_->reset();
+    deferrals_->reset();
+    queue_drops_->reset();
+    airtime_us_->reset();
+    for (TxState& tx : tx_state_) tx.airtime_s = 0.0;
+  }
+
+ private:
+  /// Per-node transmitter state (contention model only).
+  struct TxState {
+    SimTime busy_until = 0.0;
+    std::deque<std::shared_ptr<const Packet>> queue;
+    double airtime_s = 0.0;
+  };
+
+  /// Decorrelates the jitter stream from the loss stream (sqrt(2) bits).
+  static constexpr std::uint64_t kJitterStream = 0x6a09e667f3bcc909ULL;
+
+  SimTime serialization_delay(const Packet& packet) const {
+    if (!contention_enabled()) return config_.tx_delay_s;
+    const std::size_t bits =
+        config_.frame_overhead_bits + (packet_bits_ ? packet_bits_(packet) : 0);
+    return static_cast<SimTime>(bits) / config_.bitrate_bps;
+  }
+
+  /// Put `packet` on the air now: the channel is known to be free and the
+  /// node up. Claims the channel for the serialization time, then fans out.
+  void begin_transmission(NodeId from, std::shared_ptr<const Packet> packet) {
+    const std::uint32_t pid = trace_id(*packet);
+    const SimTime air = serialization_delay(*packet);
     transmissions_->inc();
     trace(obsx::TraceKind::kTx, from, pid);
+    if (contention_enabled()) {
+      TxState& tx = tx_state_[from];
+      tx.busy_until = sim_.now() + air;
+      tx.airtime_s += air;
+      airtime_us_->inc(static_cast<std::uint64_t>(std::llround(air * 1e6)));
+      sim_.schedule_in(air, [this, from] { complete_transmission(from); });
+    }
     for (const graphx::Edge& link : topology_.neighbors(from)) {
       double loss = config_.loss_probability;
       if (link_loss_) {
         const double extra = link_loss_(from, link.to);
         if (extra > 0.0) loss = 1.0 - (1.0 - loss) * (1.0 - extra);
       }
-      if (loss > 0.0 && rng_.chance(loss)) {
+      if (loss > 0.0 && loss_rng_.chance(loss)) {
         losses_->inc();
         trace(obsx::TraceKind::kDropLoss, link.to, pid, static_cast<std::uint32_t>(from));
         continue;
       }
-      const SimTime delay = config_.tx_delay_s +
-                            config_.prop_delay_s_per_m * link.weight +
-                            (config_.jitter_s > 0.0 ? rng_.uniform(0.0, config_.jitter_s) : 0.0);
+      const SimTime delay =
+          air + config_.prop_delay_s_per_m * link.weight +
+          (config_.jitter_s > 0.0 ? jitter_rng_.uniform(0.0, config_.jitter_s) : 0.0);
       const NodeId to = link.to;
       sim_.schedule_in(delay, [this, to, from, packet, pid] {
         // Receiver status is sampled at delivery time: a node that went down
@@ -141,25 +284,26 @@ class BroadcastMedium {
     }
   }
 
-  /// Total broadcasts initiated (the paper's "number of packet broadcasts").
-  std::size_t transmissions() const { return transmissions_->value(); }
-  /// Per-link deliveries (each broadcast fans out to its neighbors).
-  std::size_t deliveries() const { return deliveries_->value(); }
-  std::size_t losses() const { return losses_->value(); }
-  /// Broadcasts swallowed because the transmitter was down.
-  std::size_t blocked_transmissions() const { return blocked_transmissions_->value(); }
-  /// In-flight deliveries dropped because the receiver was down.
-  std::size_t blocked_receptions() const { return blocked_receptions_->value(); }
-
-  void reset_counters() {
-    transmissions_->reset();
-    deliveries_->reset();
-    losses_->reset();
-    blocked_transmissions_->reset();
-    blocked_receptions_->reset();
+  /// The in-flight packet finished serializing: start the next queued one.
+  void complete_transmission(NodeId from) {
+    TxState& tx = tx_state_[from];
+    // A fresh transmit may have claimed the channel at exactly the free
+    // instant (before this event ran); its own completion drains the queue.
+    if (tx.busy_until > sim_.now()) return;
+    while (!tx.queue.empty()) {
+      std::shared_ptr<const Packet> packet = std::move(tx.queue.front());
+      tx.queue.pop_front();
+      if (!node_up(from)) {
+        // The node died while the packet waited; it never airs.
+        blocked_transmissions_->inc();
+        trace(obsx::TraceKind::kDropFaulted, from, trace_id(*packet));
+        continue;
+      }
+      begin_transmission(from, std::move(packet));
+      break;
+    }
   }
 
- private:
   std::uint32_t trace_id(const Packet& packet) const {
     if (trace_ == nullptr || !trace_->enabled() || !packet_id_) return 0;
     return packet_id_(packet);
@@ -173,16 +317,22 @@ class BroadcastMedium {
   Simulator& sim_;
   const graphx::Graph& topology_;
   MediumConfig config_;
-  geo::Rng rng_;
+  geo::Rng loss_rng_;    ///< per-link loss draws only
+  geo::Rng jitter_rng_;  ///< jitter draws only (untouched when jitter_s == 0)
   DeliveryFn deliver_;
   NodeUpFn node_up_;
   LinkLossFn link_loss_;
+  PacketBitsFn packet_bits_;
+  std::vector<TxState> tx_state_;  ///< empty when contention is off
   obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()
   obsx::Counter* transmissions_;
   obsx::Counter* deliveries_;
   obsx::Counter* losses_;
   obsx::Counter* blocked_transmissions_;
   obsx::Counter* blocked_receptions_;
+  obsx::Counter* deferrals_;
+  obsx::Counter* queue_drops_;
+  obsx::Counter* airtime_us_;
   obsx::TraceBuffer* trace_ = nullptr;
   PacketIdFn packet_id_;
 };

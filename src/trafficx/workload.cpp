@@ -1,0 +1,119 @@
+#include "trafficx/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/rng.hpp"
+#include "obsx/manifest.hpp"
+
+namespace citymesh::trafficx {
+
+std::string_view to_string(SpatialMode mode) {
+  switch (mode) {
+    case SpatialMode::kUniform:
+      return "uniform";
+    case SpatialMode::kHotspot:
+      return "hotspot";
+    case SpatialMode::kEmergency:
+      return "emergency";
+  }
+  return "unknown";
+}
+
+std::optional<SpatialMode> spatial_mode_from(std::string_view name) {
+  if (name == "uniform") return SpatialMode::kUniform;
+  if (name == "hotspot") return SpatialMode::kHotspot;
+  if (name == "emergency") return SpatialMode::kEmergency;
+  return std::nullopt;
+}
+
+std::uint64_t FlowSchedule::digest() const {
+  obsx::Fnv1a fnv;
+  fnv.update(spec.name);
+  fnv.update(spec.seed);
+  for (const Flow& f : flows) {
+    fnv.update(static_cast<std::uint64_t>(std::llround(f.start_s * 1e9)));
+    fnv.update(static_cast<std::uint64_t>(f.src));
+    fnv.update(static_cast<std::uint64_t>(f.dst));
+    fnv.update(static_cast<std::uint64_t>(f.payload_bytes));
+  }
+  return fnv.digest();
+}
+
+namespace {
+
+/// Cumulative-weight sampler over buildings (binary search per draw).
+class WeightedSampler {
+ public:
+  WeightedSampler(const osmx::City& city, double downtown_weight) {
+    cumulative_.reserve(city.building_count());
+    double total = 0.0;
+    for (const auto& b : city.buildings()) {
+      total += b.area == osmx::AreaType::kDowntown ? downtown_weight : 1.0;
+      cumulative_.push_back(total);
+    }
+  }
+
+  osmx::BuildingId draw(geo::Rng& rng) const {
+    const double u = rng.uniform() * cumulative_.back();
+    const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+    return static_cast<osmx::BuildingId>(std::min(idx, cumulative_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+osmx::BuildingId default_emergency_origin(const osmx::City& city) {
+  for (const auto& b : city.buildings()) {
+    if (b.area == osmx::AreaType::kDowntown) return b.id;
+  }
+  return 0;
+}
+
+}  // namespace
+
+FlowSchedule compile(const WorkloadSpec& spec, const osmx::City& city) {
+  FlowSchedule schedule;
+  schedule.spec = spec;
+  if (city.building_count() < 2 || spec.rate_per_s <= 0.0 || spec.duration_s <= 0.0) {
+    return schedule;
+  }
+
+  geo::Rng rng{spec.seed};
+  const WeightedSampler sampler{
+      city, spec.spatial == SpatialMode::kHotspot ? spec.hotspot_bias : 1.0};
+  const osmx::BuildingId origin =
+      spec.emergency_origin.value_or(default_emergency_origin(city));
+  const std::size_t pay_lo = std::min(spec.payload_min_bytes, spec.payload_max_bytes);
+  const std::size_t pay_hi = std::max(spec.payload_min_bytes, spec.payload_max_bytes);
+
+  schedule.flows.reserve(
+      static_cast<std::size_t>(spec.rate_per_s * spec.duration_s * 1.25) + 4);
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival gap; 1 - uniform() avoids log(0).
+    t += -std::log(1.0 - rng.uniform()) / spec.rate_per_s;
+    if (t >= spec.duration_s) break;
+
+    Flow flow;
+    flow.start_s = t;
+    if (spec.spatial == SpatialMode::kEmergency) {
+      flow.src = origin;
+      do {
+        flow.dst = sampler.draw(rng);
+      } while (flow.dst == flow.src);
+    } else {
+      flow.src = sampler.draw(rng);
+      do {
+        flow.dst = sampler.draw(rng);
+      } while (flow.dst == flow.src);
+    }
+    flow.payload_bytes = pay_lo + rng.uniform_int(pay_hi - pay_lo + 1);
+    schedule.flows.push_back(flow);
+  }
+  return schedule;
+}
+
+}  // namespace citymesh::trafficx

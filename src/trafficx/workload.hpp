@@ -1,0 +1,74 @@
+// Traffic workload generation (src/trafficx).
+//
+// The paper evaluates CityMesh one message at a time; a fallback network
+// that matters serves a *city's worth* of concurrent traffic. This layer
+// turns a small declarative spec — offered load, spatial pattern, payload
+// sizes — into a deterministic, replayable flow schedule, the same way
+// src/faultx compiles disaster specs into fault timelines. Arrivals are
+// Poisson at `rate_per_s`; sources and destinations are sampled uniformly,
+// biased toward downtown buildings (hotspot — rush-hour texting), or fanned
+// out from a single origin (emergency broadcast-like unicast storms, §1).
+//
+// Determinism: compile(spec, city) draws every random value from one
+// geo::Rng seeded by the spec, so the same (spec, city) always yields the
+// byte-identical schedule; digest() pins that in tests and run manifests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osmx/building.hpp"
+
+namespace citymesh::trafficx {
+
+/// How flow endpoints are placed in the city.
+enum class SpatialMode : std::uint8_t {
+  kUniform,    ///< src/dst uniform over buildings
+  kHotspot,    ///< downtown buildings over-weighted by `hotspot_bias`
+  kEmergency,  ///< one fixed origin fans out to uniform destinations
+};
+
+std::string_view to_string(SpatialMode mode);
+std::optional<SpatialMode> spatial_mode_from(std::string_view name);
+
+struct WorkloadSpec {
+  std::string name = "workload";
+  std::uint64_t seed = 1;
+  double duration_s = 10.0;   ///< arrivals occur in [0, duration_s)
+  double rate_per_s = 1.0;    ///< Poisson offered load (flows per second)
+  SpatialMode spatial = SpatialMode::kUniform;
+  /// kHotspot: relative sampling weight of a downtown building versus a
+  /// non-downtown one (1 = no bias).
+  double hotspot_bias = 4.0;
+  /// kEmergency: the fan-out origin. Unset = the first downtown building
+  /// (falling back to building 0).
+  std::optional<osmx::BuildingId> emergency_origin;
+  /// Payload bytes drawn uniformly from [min, max].
+  std::size_t payload_min_bytes = 64;
+  std::size_t payload_max_bytes = 512;
+};
+
+/// One unicast message of the workload.
+struct Flow {
+  double start_s = 0.0;  ///< injection time, relative to workload start
+  osmx::BuildingId src = 0;
+  osmx::BuildingId dst = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// A compiled, replayable schedule: the spec plus every concrete flow.
+struct FlowSchedule {
+  WorkloadSpec spec;
+  std::vector<Flow> flows;
+
+  /// FNV-1a over every flow field — the schedule's determinism digest.
+  std::uint64_t digest() const;
+};
+
+/// Compile a spec against a city. Deterministic in (spec, city). The city
+/// must have at least two buildings.
+FlowSchedule compile(const WorkloadSpec& spec, const osmx::City& city);
+
+}  // namespace citymesh::trafficx

@@ -37,14 +37,40 @@ for key in '"schema"' '"citymesh-manifest-v1"' '"digest"' '"metrics"' \
 done
 echo "check.sh: obsx smoke (trace round-trip + bench manifest) OK"
 
-# --- The obsx buffer/JSONL code is pointer-heavy; run its tests under
-# ASan+UBSan in a separate tree (skipped if that tree's configure fails,
-# e.g. no sanitizer runtime on minimal images).
+# --- trafficx smoke: a tiny workload must run through `citymesh load` and
+# two same-seed runs must emit byte-identical manifests (the determinism
+# digest covers the schedule and the capacity summary).
+cat > "${smoke_dir}/load.spec" <<'EOF'
+name check-smoke
+seed 11
+duration 4
+rate 2
+spatial hotspot bias 8
+payload 64 128
+EOF
+"${cli}" load boston --spec "${smoke_dir}/load.spec" \
+  --json "${smoke_dir}/load1.json" >/dev/null || {
+  echo "check.sh: citymesh load failed" >&2; exit 1; }
+"${cli}" load boston --spec "${smoke_dir}/load.spec" \
+  --json "${smoke_dir}/load2.json" >/dev/null
+cmp -s "${smoke_dir}/load1.json" "${smoke_dir}/load2.json" || {
+  echo "check.sh: citymesh load manifests differ across same-seed runs" >&2
+  exit 1; }
+grep -q '"medium.airtime_us"' "${smoke_dir}/load1.json" || {
+  echo "check.sh: load manifest missing contention counters" >&2; exit 1; }
+echo "check.sh: trafficx smoke (citymesh load + manifest digest) OK"
+
+# --- The obsx buffer/JSONL code is pointer-heavy and the trafficx runner
+# threads raw pointers through scheduled closures; run both test suites
+# under ASan+UBSan in a separate tree (skipped if that tree's configure
+# fails, e.g. no sanitizer runtime on minimal images).
 san_dir="${build_dir}-asan"
 if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; then
-  cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" --target test_obsx
+  cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target test_obsx --target test_trafficx
   "${san_dir}/tests/test_obsx"
-  echo "check.sh: test_obsx clean under ASan+UBSan"
+  "${san_dir}/tests/test_trafficx"
+  echo "check.sh: test_obsx + test_trafficx clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
 fi

@@ -8,6 +8,7 @@
 //   islands <city> [--bridge]    island analysis, optionally plan bridges
 //   send <city> <from> <to>      simulate one end-to-end sealed message
 //   scenario <city> [opts]       replay a disaster scenario (src/faultx)
+//   load <city> [opts]           run a traffic workload (src/trafficx)
 //   trace <file.jsonl> [opts]    validate / summarize / filter a trace
 //
 // Common options:
@@ -28,9 +29,18 @@
 //   --svg FILE            render the worst checkpoint's fault state + one
 //                         traced delivery attempt
 //
+// Load options:
+//   --spec FILE           workload spec (see src/trafficx/spec.hpp); without
+//                         it a downtown-biased demo workload runs
+//   --scenario FILE       faultx scenario installed live into the same
+//                         simulation, so faults interleave with the traffic
+//   --bitrate BPS         shared-channel bitrate (default 50000)
+//   --queue N             per-AP transmit queue slots (default 8)
+//   --json FILE           write the run manifest (obsx) to FILE
+//
 // Trace options:
-//   --trace FILE          (send/scenario) record every packet/fault event
-//                         into FILE as JSON Lines (see src/obsx/trace.hpp)
+//   --trace FILE          (send/scenario/load) record every packet/fault
+//                         event into FILE as JSON Lines (src/obsx/trace.hpp)
 //   --kind K --node N --packet P
 //                         (trace) keep only matching events; matches are
 //                         reprinted as JSONL before the summary
@@ -57,8 +67,12 @@
 #include "measure/survey_stats.hpp"
 #include "mesh/islands.hpp"
 #include "obsx/trace.hpp"
+#include "obsx/manifest.hpp"
 #include "osmx/citygen.hpp"
 #include "osmx/osm_xml.hpp"
+#include "trafficx/runner.hpp"
+#include "trafficx/spec.hpp"
+#include "trafficx/workload.hpp"
 #include "viz/ascii.hpp"
 #include "viz/svg.hpp"
 
@@ -77,8 +91,12 @@ struct Options {
   bool shadowed = false;
   std::string osm_file;
   std::string spec_file;
+  std::string scenario_file;
   std::string svg_file;
   std::string trace_file;
+  std::string json_file;
+  double bitrate_bps = 50e3;
+  std::size_t queue_slots = 8;
   std::string kind_filter;
   std::optional<std::uint32_t> node_filter;
   std::optional<std::uint32_t> packet_filter;
@@ -95,11 +113,14 @@ int usage() {
       "  islands <city> [--bridge]  island analysis / gap bridging\n"
       "  send <city> <from> <to>    one sealed end-to-end message\n"
       "  scenario <city>            replay a disaster scenario (faultx)\n"
+      "  load <city>                run a traffic workload (trafficx)\n"
       "  trace <file.jsonl>         validate / summarize / filter a trace\n"
       "options: --range M --density M2 --width M --pairs N --deliver N\n"
       "         --seed N --suppression --shadowed --osm FILE\n"
       "         --spec FILE --svg FILE (scenario)\n"
-      "         --trace FILE (send/scenario)\n"
+      "         --spec FILE --scenario FILE --bitrate BPS --queue N\n"
+      "         --json FILE (load)\n"
+      "         --trace FILE (send/scenario/load)\n"
       "         --kind K --node N --packet P (trace)\n";
   return 2;
 }
@@ -158,6 +179,22 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       const auto v = next();
       if (!v) return std::nullopt;
       opts.spec_file = *v;
+    } else if (arg == "--scenario") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.scenario_file = *v;
+    } else if (arg == "--json") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.json_file = *v;
+    } else if (arg == "--bitrate") {
+      const auto v = next();
+      if (!v || !parse_double(*v, opts.bitrate_bps)) return std::nullopt;
+    } else if (arg == "--queue") {
+      std::uint64_t n = 0;
+      const auto v = next();
+      if (!v || !parse_u64(*v, n)) return std::nullopt;
+      opts.queue_slots = n;
     } else if (arg == "--svg") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -538,6 +575,133 @@ int cmd_scenario(const Options& opts) {
   return 0;
 }
 
+// Run a trafficx workload against the airtime-contention medium, optionally
+// with a faultx scenario installed live into the same simulation so AP
+// failures interleave with the traffic. Prints the capacity summary and a
+// determinism digest; `--json FILE` writes an obsx run manifest.
+int cmd_load(const Options& opts) {
+  const auto city = load_city(opts);
+  if (!city) return 1;
+
+  trafficx::WorkloadSpec spec;
+  if (!opts.spec_file.empty()) {
+    std::ifstream file{opts.spec_file};
+    if (!file) {
+      std::cerr << "cannot open " << opts.spec_file << '\n';
+      return 1;
+    }
+    std::string error;
+    const auto parsed = trafficx::parse_workload(file, &error);
+    if (!parsed) {
+      std::cerr << opts.spec_file << ": " << error << '\n';
+      return 1;
+    }
+    spec = *parsed;
+  } else {
+    // Demo workload: 10 s of downtown-biased traffic at 4 flows/s.
+    spec.name = "demo-load";
+    spec.seed = opts.seed;
+    spec.duration_s = 10.0;
+    spec.rate_per_s = 4.0;
+    spec.spatial = trafficx::SpatialMode::kHotspot;
+  }
+
+  core::NetworkConfig cfg = network_config(opts);
+  cfg.medium.bitrate_bps = opts.bitrate_bps;
+  cfg.medium.tx_queue_capacity = opts.queue_slots;
+  core::CityMeshNetwork network{*city, cfg};
+  if (!opts.trace_file.empty()) network.trace().enable();
+
+  // A scenario given via --scenario runs live: its fault timeline is
+  // scheduled into the same simulator the workload injections use.
+  std::optional<faultx::ScenarioEngine> engine;
+  std::string scenario_name;
+  if (!opts.scenario_file.empty()) {
+    std::ifstream file{opts.scenario_file};
+    if (!file) {
+      std::cerr << "cannot open " << opts.scenario_file << '\n';
+      return 1;
+    }
+    std::string error;
+    const auto parsed = faultx::parse_scenario(file, &error);
+    if (!parsed) {
+      std::cerr << opts.scenario_file << ": " << error << '\n';
+      return 1;
+    }
+    scenario_name = parsed->scenario.name;
+    engine.emplace(network, parsed->scenario);
+    engine->install();
+  }
+
+  const auto schedule = trafficx::compile(spec, *city);
+  const auto result = trafficx::run_workload(network, schedule);
+  const core::CapacitySummary& s = result.summary;
+
+  std::cout << "workload '" << spec.name << "' on " << city->name() << ": "
+            << schedule.flows.size() << " flows over "
+            << viz::fmt(spec.duration_s, 0) << " s ("
+            << trafficx::to_string(spec.spatial) << ", "
+            << viz::fmt(spec.rate_per_s, 1) << "/s offered)";
+  if (engine) {
+    std::cout << " + scenario '" << scenario_name << "' (" << engine->applied()
+              << "/" << engine->scenario().actions.size() << " actions applied)";
+  }
+  std::cout << '\n';
+
+  const std::vector<std::vector<std::string>> rows = {
+      {"offered", std::to_string(s.flows_offered)},
+      {"injected", std::to_string(s.flows_injected)},
+      {"delivered", std::to_string(s.flows_delivered)},
+      {"delivery rate", viz::fmt(s.delivery_rate(), 3)},
+      {"goodput", viz::fmt(s.goodput_bytes_per_s, 1) + " B/s"},
+      {"latency p50", viz::fmt(s.latency_p50_s * 1e3, 2) + " ms"},
+      {"latency p99", viz::fmt(s.latency_p99_s * 1e3, 2) + " ms"},
+      {"deferrals", std::to_string(s.deferrals)},
+      {"queue drops", std::to_string(s.queue_drops)},
+      {"airtime", viz::fmt(s.airtime_s, 2) + " s"}};
+  viz::print_table(std::cout, "Capacity summary: " + spec.name,
+                   {"metric", "value"}, rows);
+
+  obsx::Fnv1a acc;
+  acc.update(schedule.digest());
+  for (const auto& row : rows) {
+    for (const auto& cell : row) acc.update(cell);
+  }
+  const std::uint64_t digest = acc.digest();
+  std::cout << "determinism digest: " << obsx::hex64(digest)
+            << "  (same seed => same digest across runs)\n";
+
+  if (!opts.json_file.empty()) {
+    obsx::RunManifest manifest;
+    manifest.name = "citymesh-load";
+    manifest.city = city->name();
+    manifest.seeds["workload"] = spec.seed;
+    manifest.seeds["placement"] = cfg.placement.seed;
+    manifest.set_param("spec", spec.name);
+    manifest.set_param("spatial", trafficx::to_string(spec.spatial));
+    manifest.set_param("duration_s", spec.duration_s);
+    manifest.set_param("rate_per_s", spec.rate_per_s);
+    manifest.set_param("bitrate_bps", cfg.medium.bitrate_bps);
+    manifest.set_param("queue_slots",
+                       static_cast<std::uint64_t>(cfg.medium.tx_queue_capacity));
+    if (!scenario_name.empty()) manifest.set_param("scenario", scenario_name);
+    manifest.digest = digest;
+    manifest.metrics = result.metrics;
+    // wall_clock_s stays 0 so same-seed manifests are byte-identical.
+    if (!manifest.write_file(opts.json_file)) {
+      std::cerr << "cannot write " << opts.json_file << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << opts.json_file << '\n';
+  }
+
+  if (!opts.trace_file.empty() &&
+      write_trace_file(network, opts.trace_file) != 0) {
+    return 1;
+  }
+  return 0;
+}
+
 // Validate a recorded JSONL trace, optionally filter it, and summarize.
 // Matching events are reprinted as JSONL (pipe them into another file to
 // extract one packet's story); the summary counts events per kind.
@@ -627,6 +791,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "send") return cmd_send(*opts);
   if (cmd == "scenario") return cmd_scenario(*opts);
+  if (cmd == "load") return cmd_load(*opts);
   if (cmd == "trace") return cmd_trace(*opts);
   return usage();
 }
