@@ -1,31 +1,65 @@
 // Ablation: AP density (DESIGN.md §5; §4 calls 1 AP / 200 m^2 "relatively
 // sparse"). Sweeps the deployment density and reports how mesh connectivity
 // (reachability), routing success (deliverability) and overhead respond.
+// `--jobs N` runs the density points on N worker threads. The AP density is
+// a *placement* parameter, so each point compiles its own mesh (the cache
+// keys on it) — the parallelism covers both compilation and evaluation.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/engine.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
+namespace runx = citymesh::runx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"ablation_density", argc, argv};
-  std::cout << "CityMesh ablation - AP density sweep\n";
-  const auto city = citymesh::benchutil::ablation_city();
-  emit.manifest().city = city.name();
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
+  std::cout << "CityMesh ablation - AP density sweep ("
+            << runx::resolve_jobs(n_jobs) << " worker thread(s))\n";
+  const auto profile = citymesh::benchutil::ablation_profile();
+  emit.manifest().city = profile.name;
+  const std::vector<double> densities = {800.0, 400.0, 200.0, 100.0, 50.0};
+
+  std::vector<runx::RunJob> grid;
+  for (const double m2_per_ap : densities) {
+    runx::RunJob job;
+    job.city = profile.name;
+    job.seed = profile.seed;
+    job.point = "1/" + viz::fmt(m2_per_ap, 0);
+    grid.push_back(std::move(job));
+  }
+  runx::CityCache cache;
+  const auto base = citymesh::benchutil::sweep_config();
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    auto cfg = base;
+    cfg.network.placement.density_per_m2 = 1.0 / densities[job.index];
+    const auto eval = core::evaluate_city(cache.get(profile, cfg.network), cfg);
+    runx::RunResult result;
+    result.cells = {"1/" + viz::fmt(densities[job.index], 0) + " m^2",
+                    std::to_string(eval.aps), std::to_string(eval.ap_islands),
+                    viz::fmt(eval.reachability(), 3),
+                    viz::fmt(eval.deliverability(), 3),
+                    eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1)};
+    result.metrics = eval.metrics;
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
 
   std::vector<std::vector<std::string>> rows;
-  for (const double m2_per_ap : {800.0, 400.0, 200.0, 100.0, 50.0}) {
-    auto cfg = citymesh::benchutil::sweep_config();
-    cfg.network.placement.density_per_m2 = 1.0 / m2_per_ap;
-    const auto eval = core::evaluate_city(city, cfg);
-    emit.add_metrics(eval.metrics);
-    rows.push_back({"1/" + viz::fmt(m2_per_ap, 0) + " m^2", std::to_string(eval.aps),
-                    std::to_string(eval.ap_islands), viz::fmt(eval.reachability(), 3),
-                    viz::fmt(eval.deliverability(), 3),
-                    eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1)});
-    std::cout << "  density 1/" << m2_per_ap << " m^2 done" << std::endl;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << report.jobs[i].point
+                << "] failed: " << report.results[i].error << '\n';
+      rows.push_back({report.jobs[i].point, "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
   }
 
   viz::print_table(std::cout, "AP density ablation (ablation-town)",

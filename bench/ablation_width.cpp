@@ -4,32 +4,68 @@
 // the tradeoff the choice balances: a narrow conduit misses the real AP path
 // (deliverability drops), a wide conduit inflates the rebroadcast set
 // (transmission overhead grows) while adding little deliverability.
+// `--jobs N` runs the width points on N worker threads; the conduit width
+// does not key the compiled city, so every point shares one compiled mesh.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "core/network.hpp"
+#include "runx/engine.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
+namespace runx = citymesh::runx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"ablation_width", argc, argv};
-  std::cout << "CityMesh ablation - conduit width W sweep\n";
-  const auto city = citymesh::benchutil::ablation_city();
-  emit.manifest().city = city.name();
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
+  std::cout << "CityMesh ablation - conduit width W sweep ("
+            << runx::resolve_jobs(n_jobs) << " worker thread(s))\n";
+  const std::vector<double> widths = {10.0, 20.0, 30.0, 50.0, 80.0, 120.0};
 
-  std::vector<std::vector<std::string>> rows;
-  for (const double width : {10.0, 20.0, 30.0, 50.0, 80.0, 120.0}) {
-    auto cfg = citymesh::benchutil::sweep_config();
-    cfg.network.conduit.width_m = width;
-    const auto eval = core::evaluate_city(city, cfg);
-    emit.add_metrics(eval.metrics);
-    rows.push_back({viz::fmt(width, 0) + " m", viz::fmt(eval.reachability(), 3),
+  // Compile the ablation city once, share it read-only across points: the
+  // conduit width is a routing parameter, not a compilation input.
+  const auto base = citymesh::benchutil::sweep_config();
+  const auto compiled =
+      core::compile_city(citymesh::benchutil::ablation_city(), base.network);
+  emit.manifest().city = compiled->city.name();
+
+  std::vector<runx::RunJob> grid;
+  for (const double width : widths) {
+    runx::RunJob job;
+    job.city = compiled->city.name();
+    job.seed = base.seed;
+    job.point = "W=" + viz::fmt(width, 0);
+    grid.push_back(std::move(job));
+  }
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    auto cfg = base;
+    cfg.network.conduit.width_m = widths[job.index];
+    const auto eval = core::evaluate_city(compiled, cfg);
+    runx::RunResult result;
+    result.cells = {viz::fmt(widths[job.index], 0) + " m",
+                    viz::fmt(eval.reachability(), 3),
                     viz::fmt(eval.deliverability(), 3),
                     eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1),
                     eval.header_bits.empty() ? "-"
-                                             : viz::fmt(eval.median_header_bits(), 0)});
-    std::cout << "  W=" << width << " done" << std::endl;
+                                             : viz::fmt(eval.median_header_bits(), 0)};
+    result.metrics = eval.metrics;
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << report.jobs[i].point
+                << "] failed: " << report.results[i].error << '\n';
+      rows.push_back({report.jobs[i].point, "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
   }
 
   viz::print_table(std::cout, "Conduit width ablation (ablation-town)",

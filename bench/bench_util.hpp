@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 
@@ -77,6 +78,29 @@ class ManifestEmitter {
   std::string path_;
 };
 
+/// Strip `--jobs N` / `--jobs=N` from argv the way ManifestEmitter strips
+/// --json, so the bench's own positional arguments stay oblivious. Returns
+/// the runx worker-thread count (default `def`; 0 = all hardware threads).
+/// The merged rows and digest are identical for any value — --jobs trades
+/// wall clock only.
+inline std::size_t parse_jobs(int& argc, char** argv, std::size_t def = 1) {
+  std::size_t jobs = def;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return jobs;
+}
+
 /// Fold a whole results table (row-major cells) into the digest.
 inline void digest_rows(ManifestEmitter& emit,
                         const std::vector<std::vector<std::string>>& rows) {
@@ -88,7 +112,7 @@ inline void digest_rows(ManifestEmitter& emit,
 /// A mid-size city used by ablations: structurally a downtown-plus-
 /// residential fabric with one bridged river, small enough that a parameter
 /// sweep of full evaluations completes in seconds per point.
-inline osmx::City ablation_city() {
+inline osmx::CityProfile ablation_profile() {
   osmx::CityProfile p;
   p.name = "ablation-town";
   p.width_m = 1600;
@@ -96,8 +120,10 @@ inline osmx::City ablation_city() {
   p.rivers.push_back({.position_frac = 0.7, .width_m = 110.0, .vertical = false,
                       .bridges = {0.5}});
   p.seed = 71;
-  return osmx::generate_city(p);
+  return p;
 }
+
+inline osmx::City ablation_city() { return osmx::generate_city(ablation_profile()); }
 
 /// Evaluation protocol shrunk for sweeps (the headline Figure-6 bench runs
 /// the paper's full 1000/50 protocol).

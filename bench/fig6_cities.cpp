@@ -11,7 +11,9 @@
 // D.C.) show depressed reachability; median overhead is O(10x) (the paper
 // reports 13x) against the ideal unicast path.
 //
-// Pass city names as arguments to restrict the run (default: all ten).
+// Pass city names as arguments to restrict the run (default: all ten);
+// `--jobs N` evaluates cities on N worker threads (same rows and digest for
+// any N — the runx engine merges in city order).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,17 +22,22 @@
 #include "core/evaluation.hpp"
 #include "geo/stats.hpp"
 #include "osmx/citygen.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/engine.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
 namespace osmx = citymesh::osmx;
+namespace runx = citymesh::runx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"fig6_cities", argc, argv};
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
   std::cout << "CityMesh reproduction - Figure 6 (per-city evaluation)\n"
             << "range 50 m, density 1 AP/200 m^2, 1000 reachability pairs,\n"
-            << "50 deliverability pairs per city\n";
+            << "50 deliverability pairs per city ("
+            << runx::resolve_jobs(n_jobs) << " worker thread(s))\n";
 
   std::vector<osmx::CityProfile> profiles;
   if (argc > 1) {
@@ -50,23 +57,50 @@ int main(int argc, char** argv) {
                             static_cast<std::uint64_t>(cfg.deliverability_pairs));
   emit.manifest().set_param("cities", static_cast<std::uint64_t>(profiles.size()));
 
-  std::vector<std::vector<std::string>> rows;
-  std::vector<double> all_overheads;
+  // One run per city, executed on the runx engine. Each run compiles its
+  // city through the shared cache and evaluates it against its own network;
+  // per-run overheads land in a preallocated slot (index-disjoint writes are
+  // race-free), so pooled statistics stay deterministic.
+  std::vector<runx::RunJob> grid;
   for (const auto& profile : profiles) {
-    const auto city = osmx::generate_city(profile);
-    const auto eval = core::evaluate_city(city, cfg);
-    emit.manifest().seeds[profile.name] = profile.seed;
-    emit.add_metrics(eval.metrics);
-    rows.push_back({eval.city, std::to_string(eval.buildings), std::to_string(eval.aps),
+    runx::RunJob job;
+    job.city = profile.name;
+    job.seed = profile.seed;
+    job.point = "fig6";
+    grid.push_back(std::move(job));
+  }
+  std::vector<std::vector<double>> per_city_overheads(profiles.size());
+  runx::CityCache cache;
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    const auto compiled = cache.get(profiles[job.index], cfg.network);
+    const auto eval = core::evaluate_city(compiled, cfg);
+    per_city_overheads[job.index] = eval.overheads;
+    runx::RunResult result;
+    result.cells = {eval.city, std::to_string(eval.buildings), std::to_string(eval.aps),
                     std::to_string(eval.ap_major_islands), viz::fmt(eval.reachability(), 3),
                     viz::fmt(eval.deliverability(), 3),
                     eval.overheads.empty() ? "-" : viz::fmt(eval.median_overhead(), 1),
                     eval.header_bits.empty() ? "-"
-                                             : viz::fmt(eval.median_header_bits(), 0)});
-    all_overheads.insert(all_overheads.end(), eval.overheads.begin(),
-                         eval.overheads.end());
-    std::cout << "  [" << eval.city << "] done: reach=" << viz::fmt(eval.reachability(), 3)
-              << " deliver=" << viz::fmt(eval.deliverability(), 3) << std::endl;
+                                             : viz::fmt(eval.median_header_bits(), 0)};
+    result.metrics = eval.metrics;
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> all_overheads;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    emit.manifest().seeds[profiles[i].name] = profiles[i].seed;
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << profiles[i].name << "] failed: " << report.results[i].error
+                << '\n';
+      rows.push_back({profiles[i].name, "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
+    all_overheads.insert(all_overheads.end(), per_city_overheads[i].begin(),
+                         per_city_overheads[i].end());
   }
 
   viz::print_table(std::cout,

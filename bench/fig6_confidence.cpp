@@ -3,21 +3,27 @@
 // for each metric. The paper evaluates one realization per city; this bench
 // shows how much of the headline table is placement variance (answer: very
 // little for reachability and overhead, a few points for deliverability).
+// `--jobs N` runs the per-city replications on N worker threads (identical
+// rows and digest for any N).
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "core/evaluation.hpp"
 #include "osmx/citygen.hpp"
+#include "runx/engine.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
 namespace osmx = citymesh::osmx;
+namespace runx = citymesh::runx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"fig6_confidence", argc, argv};
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
   const std::size_t seeds = argc > 1 ? std::stoul(argv[1]) : 5;
-  std::cout << "CityMesh - Figure 6 with " << seeds << "-seed confidence\n";
+  std::cout << "CityMesh - Figure 6 with " << seeds << "-seed confidence ("
+            << runx::resolve_jobs(n_jobs) << " worker thread(s))\n";
   emit.manifest().set_param("placements", static_cast<std::uint64_t>(seeds));
 
   core::EvaluationConfig cfg;
@@ -28,16 +34,41 @@ int main(int argc, char** argv) {
     return viz::fmt(s.mean(), prec) + " +/- " + viz::fmt(s.stddev(), prec);
   };
 
-  std::vector<std::vector<std::string>> rows;
-  for (const std::string name : {"boston", "washington_dc", "new_york", "miami"}) {
+  // One run per city. evaluate_city_seeds re-places APs per replication, so
+  // the compiled-city cache does not apply; each run generates its own city
+  // (deterministic in the profile) and owns all mutable state.
+  const std::vector<std::string> names = {"boston", "washington_dc", "new_york",
+                                          "miami"};
+  std::vector<runx::RunJob> grid;
+  for (const auto& name : names) {
     const auto profile = osmx::profile_by_name(name);
     emit.manifest().seeds[name] = profile.seed;
-    const auto city = osmx::generate_city(profile);
+    runx::RunJob job;
+    job.city = name;
+    job.seed = profile.seed;
+    job.point = "confidence";
+    grid.push_back(std::move(job));
+  }
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    const auto city = osmx::generate_city(osmx::profile_by_name(job.city));
     const auto multi = core::evaluate_city_seeds(city, cfg, seeds);
-    emit.add_metrics(multi.metrics);
-    rows.push_back({name, pm(multi.reachability, 3), pm(multi.deliverability, 3),
-                    pm(multi.median_overhead, 1), pm(multi.median_header_bits, 0)});
-    std::cout << "  [" << name << "] done" << std::endl;
+    runx::RunResult result;
+    result.cells = {job.city, pm(multi.reachability, 3), pm(multi.deliverability, 3),
+                    pm(multi.median_overhead, 1), pm(multi.median_header_bits, 0)};
+    result.metrics = multi.metrics;
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << names[i] << "] failed: " << report.results[i].error << '\n';
+      rows.push_back({names[i], "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
   }
 
   viz::print_table(std::cout,

@@ -23,6 +23,7 @@
 #include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,12 +36,15 @@
 #include "faultx/render.hpp"
 #include "faultx/scenario.hpp"
 #include "osmx/citygen.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/engine.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
 namespace faultx = citymesh::faultx;
 namespace geo = citymesh::geo;
 namespace osmx = citymesh::osmx;
+namespace runx = citymesh::runx;
 namespace viz = citymesh::viz;
 
 namespace {
@@ -154,9 +158,11 @@ void render_scenario(const osmx::CityProfile& profile, const std::string& path) 
 
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"fig8_scenarios", argc, argv};
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
   std::cout << "CityMesh extension - Figure 8 (deliverability vs outage size)\n"
             << "blackout polygon grows over the downtown core; Fig-6 protocol\n"
-            << "re-measured on the surviving mesh at each size\n";
+            << "re-measured on the surviving mesh at each size ("
+            << runx::resolve_jobs(n_jobs) << " worker thread(s))\n";
 
   std::vector<osmx::CityProfile> profiles;
   if (argc > 1) {
@@ -180,33 +186,59 @@ int main(int argc, char** argv) {
   emit.manifest().set_param("deliver_pairs",
                             static_cast<std::uint64_t>(snapshot.deliver_pairs));
 
-  std::vector<std::vector<std::string>> rows;
+  // One run per (city, outage fraction) on the runx engine. Every point of a
+  // city shares the same compiled mesh through the cache (the placement is
+  // seeded and identical); each run builds its own fresh network over it so
+  // the sweep varies only the outage size.
+  const std::size_t n_fractions = std::size(kOutageFractions);
+  std::vector<runx::RunJob> grid;
   for (const auto& profile : profiles) {
-    const osmx::City city = osmx::generate_city(profile);
     emit.manifest().seeds[profile.name] = profile.seed;
-    const geo::Rect downtown = downtown_bounds(city);
     for (const double fraction : kOutageFractions) {
-      // Fresh network per point: identical placement (seeded), so the sweep
-      // varies only the outage size.
-      core::CityMeshNetwork network{city, network_config()};
-      faultx::ScenarioEngine engine{
-          network, blackout_scenario(profile.name, fraction, downtown)};
-      engine.apply_all();
-      const core::NetworkSnapshot snap = core::evaluate_snapshot(network, snapshot);
-      rows.push_back({profile.name, viz::fmt(fraction * 100.0, 0) + "%",
-                      std::to_string(snap.aps_total - snap.aps_up),
-                      viz::fmt(snap.up_fraction(), 3),
-                      viz::fmt(core_service_fraction(network, downtown), 3),
-                      viz::fmt(snap.reachability(), 3),
-                      viz::fmt(snap.deliverability(), 3),
-                      std::to_string(snap.rescues_succeeded) + "/" +
-                          std::to_string(snap.rescues_attempted),
-                      viz::fmt(snap.deliverability_with_rescue(), 3)});
-      std::cout << "  [" << profile.name << " " << viz::fmt(fraction * 100.0, 0)
-                << "%] aps down=" << (snap.aps_total - snap.aps_up)
-                << " reach=" << viz::fmt(snap.reachability(), 3)
-                << " deliver=" << viz::fmt(snap.deliverability(), 3) << std::endl;
+      runx::RunJob job;
+      job.city = profile.name;
+      job.seed = profile.seed;
+      job.point = viz::fmt(fraction * 100.0, 0) + "%";
+      grid.push_back(std::move(job));
     }
+  }
+  runx::CityCache cache;
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    const auto& profile = profiles[job.index / n_fractions];
+    const double fraction = kOutageFractions[job.index % n_fractions];
+    const auto compiled = cache.get(profile, network_config());
+    const geo::Rect downtown = downtown_bounds(compiled->city);
+    core::CityMeshNetwork network{compiled, network_config()};
+    faultx::ScenarioEngine engine{
+        network, blackout_scenario(profile.name, fraction, downtown)};
+    engine.apply_all();
+    const core::NetworkSnapshot snap = core::evaluate_snapshot(network, snapshot);
+    runx::RunResult result;
+    result.cells = {profile.name, viz::fmt(fraction * 100.0, 0) + "%",
+                    std::to_string(snap.aps_total - snap.aps_up),
+                    viz::fmt(snap.up_fraction(), 3),
+                    viz::fmt(core_service_fraction(network, downtown), 3),
+                    viz::fmt(snap.reachability(), 3),
+                    viz::fmt(snap.deliverability(), 3),
+                    std::to_string(snap.rescues_succeeded) + "/" +
+                        std::to_string(snap.rescues_attempted),
+                    viz::fmt(snap.deliverability_with_rescue(), 3)};
+    result.metrics = network.metrics().snapshot();
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << report.jobs[i].city << " " << report.jobs[i].point
+                << "] failed: " << report.results[i].error << '\n';
+      rows.push_back({report.jobs[i].city, report.jobs[i].point,
+                      "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
   }
 
   viz::print_table(std::cout,

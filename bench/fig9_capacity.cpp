@@ -20,6 +20,7 @@
 // (boston).
 #include <cstdint>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -27,12 +28,15 @@
 #include "core/evaluation.hpp"
 #include "core/network.hpp"
 #include "osmx/citygen.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/engine.hpp"
 #include "trafficx/runner.hpp"
 #include "trafficx/workload.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
 namespace osmx = citymesh::osmx;
+namespace runx = citymesh::runx;
 namespace trafficx = citymesh::trafficx;
 namespace viz = citymesh::viz;
 
@@ -70,9 +74,11 @@ trafficx::WorkloadSpec workload_spec(double rate_per_s) {
 
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"fig9_capacity", argc, argv};
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
   std::cout << "CityMesh extension - Figure 9 (goodput/latency vs offered load)\n"
             << "downtown-biased Poisson workload on the airtime-contention\n"
-            << "medium; the offered rate doubles per point past the knee\n";
+            << "medium; the offered rate doubles per point past the knee ("
+            << runx::resolve_jobs(n_jobs) << " worker thread(s))\n";
 
   std::vector<osmx::CityProfile> profiles;
   if (argc > 1) {
@@ -87,34 +93,57 @@ int main(int argc, char** argv) {
   emit.manifest().set_param("bitrate_bps", kBitrateBps);
   emit.manifest().set_param("queue_slots", static_cast<std::uint64_t>(kQueueSlots));
 
-  std::vector<std::vector<std::string>> rows;
+  // One run per (city, offered rate) on the runx engine. All points of a
+  // city share the compiled mesh through the cache (identical seeded
+  // placement); each run owns a fresh network so only the load varies.
+  const std::size_t n_rates = std::size(kRates);
+  std::vector<runx::RunJob> grid;
   for (const auto& profile : profiles) {
-    const osmx::City city = osmx::generate_city(profile);
     emit.manifest().seeds[profile.name] = profile.seed;
     for (const double rate : kRates) {
-      // Fresh network per point: identical placement (seeded), so the sweep
-      // varies only the offered load.
-      core::CityMeshNetwork network{city, network_config()};
-      const auto schedule = trafficx::compile(workload_spec(rate), city);
-      const auto result = trafficx::run_workload(network, schedule);
-      const core::CapacitySummary& s = result.summary;
-      emit.add_metrics(result.metrics);
-      rows.push_back({profile.name, viz::fmt(rate, 1),
-                      std::to_string(s.flows_offered),
-                      std::to_string(s.flows_delivered),
-                      viz::fmt(s.delivery_rate(), 3),
-                      viz::fmt(s.goodput_bytes_per_s, 1),
-                      viz::fmt(s.latency_p50_s * 1e3, 1),
-                      viz::fmt(s.latency_p99_s * 1e3, 1),
-                      std::to_string(s.deferrals),
-                      std::to_string(s.queue_drops),
-                      viz::fmt(s.airtime_s, 1)});
-      std::cout << "  [" << profile.name << " " << viz::fmt(rate, 1)
-                << "/s] delivered=" << s.flows_delivered << "/" << s.flows_offered
-                << " goodput=" << viz::fmt(s.goodput_bytes_per_s, 1)
-                << " B/s p99=" << viz::fmt(s.latency_p99_s * 1e3, 1)
-                << " ms drops=" << s.queue_drops << std::endl;
+      runx::RunJob job;
+      job.city = profile.name;
+      job.seed = kWorkloadSeed;
+      job.point = viz::fmt(rate, 1) + "/s";
+      grid.push_back(std::move(job));
     }
+  }
+  runx::CityCache cache;
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    const auto& profile = profiles[job.index / n_rates];
+    const double rate = kRates[job.index % n_rates];
+    const auto compiled = cache.get(profile, network_config());
+    core::CityMeshNetwork network{compiled, network_config()};
+    const auto schedule = trafficx::compile(workload_spec(rate), compiled->city);
+    const auto run = trafficx::run_workload(network, schedule);
+    const core::CapacitySummary& s = run.summary;
+    runx::RunResult result;
+    result.cells = {profile.name, viz::fmt(rate, 1),
+                    std::to_string(s.flows_offered),
+                    std::to_string(s.flows_delivered),
+                    viz::fmt(s.delivery_rate(), 3),
+                    viz::fmt(s.goodput_bytes_per_s, 1),
+                    viz::fmt(s.latency_p50_s * 1e3, 1),
+                    viz::fmt(s.latency_p99_s * 1e3, 1),
+                    std::to_string(s.deferrals),
+                    std::to_string(s.queue_drops),
+                    viz::fmt(s.airtime_s, 1)};
+    result.metrics = run.metrics;
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << report.jobs[i].city << " " << report.jobs[i].point
+                << "] failed: " << report.results[i].error << '\n';
+      rows.push_back({report.jobs[i].city, report.jobs[i].point,
+                      "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
   }
 
   viz::print_table(std::cout,

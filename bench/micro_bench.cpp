@@ -17,6 +17,8 @@
 #include "geo/spatial_grid.hpp"
 #include "graphx/graph.hpp"
 #include "osmx/citygen.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/engine.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 #include "trafficx/workload.hpp"
@@ -210,6 +212,66 @@ static void BM_MediumBusyChannelDefer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_MediumBusyChannelDefer);
+
+// ----------------------------------------------------------------- runx ---
+
+namespace {
+
+// A small town keeps the compile benches fast while still exercising the
+// full citygen -> building graph -> AP placement pipeline.
+osmx::CityProfile cache_bench_profile() {
+  osmx::CityProfile p;
+  p.name = "cache-bench-town";
+  p.width_m = 800;
+  p.height_m = 800;
+  p.seed = 17;
+  return p;
+}
+
+}  // namespace
+
+// Cold compile: the price every grid point of a sweep would pay without the
+// shared compiled-city cache.
+static void BM_CityCacheColdCompile(benchmark::State& state) {
+  const auto profile = cache_bench_profile();
+  for (auto _ : state) {
+    citymesh::runx::CityCache cache;
+    benchmark::DoNotOptimize(cache.get(profile, {}));
+  }
+}
+BENCHMARK(BM_CityCacheColdCompile)->Unit(benchmark::kMillisecond);
+
+// Cache hit: the lookup every subsequent same-city grid point pays instead.
+static void BM_CityCacheHit(benchmark::State& state) {
+  const auto profile = cache_bench_profile();
+  citymesh::runx::CityCache cache;
+  cache.get(profile, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(profile, {}));
+  }
+}
+BENCHMARK(BM_CityCacheHit);
+
+// Engine dispatch overhead: 256 no-op jobs, so the measured cost is grid
+// setup + the atomic work cursor + the index-order merge fold (plus thread
+// spawn/join at arg > 1). Real runs amortize this over seconds of
+// simulation per job.
+static void BM_RunxDispatch(benchmark::State& state) {
+  constexpr std::size_t kJobs = 256;
+  const citymesh::runx::RunFn noop = [](const citymesh::runx::RunJob& job) {
+    citymesh::runx::RunResult r;
+    r.cells = {std::to_string(job.index)};
+    return r;
+  };
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<citymesh::runx::RunJob> grid(kJobs);
+    const auto report = citymesh::runx::run_jobs(std::move(grid), noop, {workers});
+    benchmark::DoNotOptimize(report.digest);
+  }
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_RunxDispatch)->Arg(1)->Arg(4);
 
 // --------------------------------------------------------------- crypto ---
 

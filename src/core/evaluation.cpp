@@ -9,12 +9,15 @@ namespace citymesh::core {
 double CityEvaluation::median_overhead() const { return geo::median(overheads); }
 double CityEvaluation::median_header_bits() const { return geo::median(header_bits); }
 
-CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& config) {
+namespace {
+
+CityEvaluation evaluate_with_network(CityMeshNetwork& network,
+                                     const EvaluationConfig& config) {
+  const osmx::City& city = network.city();
   CityEvaluation eval;
   eval.city = city.name();
   eval.buildings = city.building_count();
 
-  CityMeshNetwork network{city, config.network};
   eval.aps = network.aps().ap_count();
   eval.ap_islands = network.aps().components().count;
   for (const std::size_t size : network.aps().components().sizes()) {
@@ -71,6 +74,19 @@ CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& con
   }
   eval.metrics = network.metrics().snapshot();
   return eval;
+}
+
+}  // namespace
+
+CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& config) {
+  CityMeshNetwork network{city, config.network};
+  return evaluate_with_network(network, config);
+}
+
+CityEvaluation evaluate_city(std::shared_ptr<const CompiledCity> compiled,
+                             const EvaluationConfig& config) {
+  CityMeshNetwork network{std::move(compiled), config.network};
+  return evaluate_with_network(network, config);
 }
 
 NetworkSnapshot evaluate_snapshot(CityMeshNetwork& network, const SnapshotConfig& config) {

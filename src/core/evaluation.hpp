@@ -66,6 +66,14 @@ struct CityEvaluation {
 /// Run the full §4 protocol on a city.
 CityEvaluation evaluate_city(const osmx::City& city, const EvaluationConfig& config);
 
+/// Same protocol against a pre-compiled city (core::CompiledCity): the
+/// network shares the read-only building graph + AP placement instead of
+/// rebuilding them, so a sweep's grid points pay only for simulation.
+/// `config.network.graph`/`placement` must be the parameters the city was
+/// compiled with (they are not re-applied).
+CityEvaluation evaluate_city(std::shared_ptr<const CompiledCity> compiled,
+                             const EvaluationConfig& config);
+
 /// Multi-seed replication: re-runs the protocol with independent AP
 /// placements and pair samples, reporting mean and standard deviation per
 /// metric. The paper reports single realizations; this quantifies how much

@@ -15,20 +15,28 @@ std::size_t CityMeshNetwork::trace_capacity_for(const NetworkConfig& config,
   return std::max<std::size_t>(std::size_t{1} << 16, 24 * ap_count);
 }
 
+std::shared_ptr<const CompiledCity> compile_city(osmx::City city,
+                                                 const NetworkConfig& config) {
+  return std::make_shared<const CompiledCity>(std::move(city), config.graph,
+                                              config.placement);
+}
+
 CityMeshNetwork::CityMeshNetwork(const osmx::City& city, NetworkConfig config)
-    : city_(&city),
+    : CityMeshNetwork(compile_city(city, config), config) {}
+
+CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
+                                 NetworkConfig config)
+    : compiled_(std::move(compiled)),
       config_(config),
-      map_(city, config.graph),
-      aps_(mesh::place_aps(city, config.placement)),
-      planner_(map_, config.conduit),
-      medium_(sim_, aps_.graph(), config.medium),
+      planner_(compiled_->map, config.conduit),
+      medium_(sim_, compiled_->aps.graph(), config.medium),
       message_rng_(config.seed),
-      trace_(trace_capacity_for(config_, aps_.ap_count())),
-      ap_status_(aps_.ap_count(), ApStatus::kUp),
-      aps_up_(aps_.ap_count()) {
-  agents_.reserve(aps_.ap_count());
-  for (const auto& ap : aps_.aps()) {
-    agents_.emplace_back(ap.id, ap.position, ap.building, map_);
+      trace_(trace_capacity_for(config_, compiled_->aps.ap_count())),
+      ap_status_(compiled_->aps.ap_count(), ApStatus::kUp),
+      aps_up_(compiled_->aps.ap_count()) {
+  agents_.reserve(aps().ap_count());
+  for (const auto& ap : aps().aps()) {
+    agents_.emplace_back(ap.id, ap.position, ap.building, compiled_->map);
   }
   medium_.set_delivery_handler(
       [this](sim::NodeId to, sim::NodeId from,
@@ -95,7 +103,7 @@ std::string registry_key(const cryptox::SelfCertifyingId& id, BuildingId buildin
 }  // namespace
 
 std::shared_ptr<Postbox> CityMeshNetwork::register_postbox(const PostboxInfo& info) {
-  const auto& building_aps = aps_.aps_of_building(info.building);
+  const auto& building_aps = aps().aps_of_building(info.building);
   if (building_aps.empty()) return nullptr;
   // Idempotent per (identity, building): re-registering returns the same box.
   const std::string key = registry_key(info.id, info.building);
@@ -138,15 +146,15 @@ void CityMeshNetwork::set_ap_status(mesh::ApId id, ApStatus status) {
 }
 
 std::optional<mesh::ApId> CityMeshNetwork::live_ap(BuildingId building) const {
-  const auto rep = aps_.representative_ap(*city_, building);
+  const auto rep = aps().representative_ap(city(), building);
   if (!rep) return std::nullopt;
   if (ap_up(*rep)) return rep;
-  const geo::Point centroid = city_->building(building).centroid;
+  const geo::Point centroid = city().building(building).centroid;
   std::optional<mesh::ApId> best;
   double best_d2 = std::numeric_limits<double>::infinity();
-  for (const mesh::ApId id : aps_.aps_of_building(building)) {
+  for (const mesh::ApId id : aps().aps_of_building(building)) {
     if (!ap_up(id)) continue;
-    const double d2 = geo::distance2(aps_.ap(id).position, centroid);
+    const double d2 = geo::distance2(aps().ap(id).position, centroid);
     if (d2 < best_d2) {
       best_d2 = d2;
       best = id;
@@ -156,8 +164,8 @@ std::optional<mesh::ApId> CityMeshNetwork::live_ap(BuildingId building) const {
 }
 
 std::size_t CityMeshNetwork::add_degraded_region(geo::Polygon region, double extra_loss) {
-  std::vector<char> members(aps_.ap_count(), 0);
-  for (const auto& ap : aps_.aps()) {
+  std::vector<char> members(aps().ap_count(), 0);
+  for (const auto& ap : aps().aps()) {
     members[ap.id] = region.contains(ap.position) ? 1 : 0;
   }
   degraded_.push_back({std::move(region), extra_loss, /*active=*/true});
@@ -218,8 +226,8 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
     // Same-building overhearing suppression: a *nearby* AP of this building
     // already carried the packet, so this AP's pending copy is redundant.
     if (config_.building_suppression &&
-        aps_.ap(from).building == aps_.ap(to).building &&
-        geo::distance(aps_.ap(from).position, aps_.ap(to).position) <=
+        aps().ap(from).building == aps().ap(to).building &&
+        geo::distance(aps().ap(from).position, aps().ap(to).position) <=
             config_.suppression_radius_m) {
       const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
       if (const auto it = pending_.find(key); it != pending_.end()) {
@@ -289,7 +297,7 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
   SendOutcome outcome;
 
   const ConduitConfig conduit{opts.conduit_width.value_or(config_.conduit.width_m)};
-  const RoutePlanner planner{map_, conduit};
+  const RoutePlanner planner{compiled_->map, conduit};
   const auto route = opts.compress ? planner.plan(from_building, to.building)
                                    : planner.plan_uncompressed(from_building, to.building);
   if (!route) return outcome;
@@ -392,9 +400,9 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
 
   // Ideal unicast hop count: shortest AP path from the source AP to the
   // closest AP in the destination building.
-  const auto sp = graphx::bfs(aps_.graph(), *src_ap);
+  const auto sp = graphx::bfs(aps().graph(), *src_ap);
   double best = graphx::kInfiniteDistance;
-  for (const mesh::ApId dst : aps_.aps_of_building(to.building)) {
+  for (const mesh::ApId dst : aps().aps_of_building(to.building)) {
     best = std::min(best, sp.distance[dst]);
   }
   if (best < graphx::kInfiniteDistance) {
@@ -420,7 +428,7 @@ InjectResult CityMeshNetwork::inject(BuildingId from_building, const PostboxInfo
   InjectResult result;
 
   const ConduitConfig conduit{opts.conduit_width.value_or(config_.conduit.width_m)};
-  const RoutePlanner planner{map_, conduit};
+  const RoutePlanner planner{compiled_->map, conduit};
   const auto route = opts.compress ? planner.plan(from_building, to.building)
                                    : planner.plan_uncompressed(from_building, to.building);
   if (!route) return result;
@@ -558,7 +566,7 @@ std::size_t CityMeshNetwork::forward_pending(const PostboxInfo& home,
 }
 
 void CityMeshNetwork::compromise_building(BuildingId building, AgentBehavior behavior) {
-  for (const mesh::ApId id : aps_.aps_of_building(building)) {
+  for (const mesh::ApId id : aps().aps_of_building(building)) {
     agents_[id].set_behavior(behavior);
   }
 }

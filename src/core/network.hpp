@@ -81,6 +81,29 @@ struct NetworkConfig {
   std::size_t trace_capacity = 0;
 };
 
+/// The immutable "compiled" form of one city: the generated footprints plus
+/// everything derived deterministically from them — the map-derived building
+/// graph and the realized AP placement. Compiling is the expensive prefix of
+/// every run (graph construction dominates small sweeps); a CompiledCity is
+/// strictly read-only after construction, so one instance can back any
+/// number of CityMeshNetworks concurrently (src/runx shares one per city
+/// across its worker threads via runx::CityCache).
+struct CompiledCity {
+  osmx::City city;
+  BuildingGraph map;
+  mesh::ApNetwork aps;
+
+  CompiledCity(osmx::City city_in, const BuildingGraphConfig& graph_config,
+               const mesh::PlacementConfig& placement)
+      : city(std::move(city_in)),
+        map(city, graph_config),
+        aps(mesh::place_aps(city, placement)) {}
+};
+
+/// Compile a city against a network config's graph + placement parameters.
+std::shared_ptr<const CompiledCity> compile_city(osmx::City city,
+                                                 const NetworkConfig& config);
+
 struct SendOptions {
   bool urgent = false;
   bool compress = true;          ///< false = raw building list (ablation)
@@ -179,11 +202,23 @@ struct BroadcastOutcome {
 
 class CityMeshNetwork {
  public:
+  /// Compile-and-own: builds the building graph + AP placement for this one
+  /// network (copies the city). Equivalent to the shared-city constructor
+  /// below with a freshly compiled city.
   CityMeshNetwork(const osmx::City& city, NetworkConfig config);
 
-  const osmx::City& city() const { return *city_; }
-  const BuildingGraph& map() const { return map_; }
-  const mesh::ApNetwork& aps() const { return aps_; }
+  /// Share a pre-compiled city: the network holds a reference-counted,
+  /// read-only CompiledCity and builds only its own dynamic state (agents,
+  /// medium, fault status, postboxes). `config.graph`/`config.placement`
+  /// must be the parameters the city was compiled with; they are not
+  /// re-applied. This is what makes sweep workers cheap (src/runx).
+  CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled, NetworkConfig config);
+
+  const osmx::City& city() const { return compiled_->city; }
+  const BuildingGraph& map() const { return compiled_->map; }
+  const mesh::ApNetwork& aps() const { return compiled_->aps; }
+  /// The shared compiled city backing this network.
+  const std::shared_ptr<const CompiledCity>& compiled() const { return compiled_; }
   const RoutePlanner& planner() const { return planner_; }
   sim::Simulator& simulator() { return sim_; }
   const NetworkConfig& config() const { return config_; }
@@ -308,10 +343,8 @@ class CityMeshNetwork {
   static std::size_t trace_capacity_for(const NetworkConfig& config,
                                         std::size_t ap_count);
 
-  const osmx::City* city_;
+  std::shared_ptr<const CompiledCity> compiled_;
   NetworkConfig config_;
-  BuildingGraph map_;
-  mesh::ApNetwork aps_;
   RoutePlanner planner_;
   sim::Simulator sim_;
   sim::BroadcastMedium<MeshPacket> medium_;

@@ -1,0 +1,70 @@
+#include "runx/city_cache.hpp"
+
+#include <sstream>
+
+namespace citymesh::runx {
+
+std::string CityCache::key_for(const osmx::CityProfile& profile,
+                               const core::NetworkConfig& config) {
+  // Everything generate_city + compile_city read that callers actually vary:
+  // the profile's identity and the graph/placement knobs. Two keys that
+  // differ in none of these produce byte-identical compiled cities.
+  std::ostringstream key;
+  key << profile.name << '#' << profile.seed << '#' << profile.width_m << 'x'
+      << profile.height_m << '#' << profile.rivers.size()
+      << "|g:" << config.graph.transmission_range_m << ','
+      << config.graph.connect_factor << ','
+      << static_cast<int>(config.graph.weight)
+      << "|p:" << config.placement.density_per_m2 << ','
+      << config.placement.transmission_range_m << ','
+      << static_cast<int>(config.placement.link_model) << ','
+      << config.placement.shadow_certain_frac << ','
+      << config.placement.shadow_max_frac << ',' << config.placement.seed;
+  return key.str();
+}
+
+std::shared_ptr<const core::CompiledCity> CityCache::get(
+    const osmx::CityProfile& profile, const core::NetworkConfig& config) {
+  const std::string key = key_for(profile, config);
+
+  std::shared_ptr<std::promise<std::shared_ptr<const core::CompiledCity>>> mine;
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      entry = it->second;
+    } else {
+      mine = std::make_shared<
+          std::promise<std::shared_ptr<const core::CompiledCity>>>();
+      entry = mine->get_future().share();
+      cache_.emplace(key, entry);
+    }
+  }
+
+  if (mine) {
+    try {
+      auto compiled = core::compile_city(osmx::generate_city(profile), config);
+      {
+        std::lock_guard<std::mutex> lock{mu_};
+        ++compiles_;
+      }
+      mine->set_value(std::move(compiled));
+    } catch (...) {
+      // Don't cache failures: a later request retries the compilation.
+      {
+        std::lock_guard<std::mutex> lock{mu_};
+        cache_.erase(key);
+      }
+      mine->set_exception(std::current_exception());
+    }
+  }
+  return entry.get();
+}
+
+std::size_t CityCache::compiles() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return compiles_;
+}
+
+}  // namespace citymesh::runx

@@ -1,0 +1,51 @@
+// Shared immutable compiled-city cache (src/runx).
+//
+// Compiling a city (citygen -> building graph -> AP placement) is the
+// expensive deterministic prefix of every run; a sweep of S seeds x P grid
+// points over the same city repeats it S*P times when done naively. The
+// cache compiles each distinct (profile, network-config) key exactly once
+// and hands every worker the same read-only core::CompiledCity.
+//
+// Concurrency: the first thread to request a key becomes its compiler; the
+// map holds a shared_future per key, so concurrent requesters of the *same*
+// key block on that one compilation (never duplicating it — compiles() is
+// exact, not scheduling-dependent) while *different* keys compile in
+// parallel.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/network.hpp"
+#include "osmx/citygen.hpp"
+
+namespace citymesh::runx {
+
+class CityCache {
+ public:
+  /// The compiled city for (profile, config.graph + config.placement),
+  /// compiling on first use. Throws what citygen/compilation throws; a
+  /// failed compilation is not cached.
+  std::shared_ptr<const core::CompiledCity> get(const osmx::CityProfile& profile,
+                                                const core::NetworkConfig& config);
+
+  /// Number of compilations performed (== distinct keys requested).
+  std::size_t compiles() const;
+
+  /// The cache key: profile identity + every config field the compiled
+  /// artifacts depend on. Exposed for tests.
+  static std::string key_for(const osmx::CityProfile& profile,
+                             const core::NetworkConfig& config);
+
+ private:
+  using Entry = std::shared_future<std::shared_ptr<const core::CompiledCity>>;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> cache_;
+  std::size_t compiles_ = 0;
+};
+
+}  // namespace citymesh::runx

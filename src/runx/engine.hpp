@@ -1,0 +1,85 @@
+// Parallel experiment engine (src/runx).
+//
+// Every figure of the evaluation is a grid of *independent* simulation runs
+// (cities x seeds x scenario/workload points). This engine executes such a
+// grid on N worker threads and merges the per-run results into one report
+// whose row order and FNV-1a digest are functions of the grid alone — never
+// of the thread count or the OS scheduler. The contract that makes this
+// sound:
+//
+//   - a RunJob is pure: the run function builds every piece of mutable
+//     state (Simulator, CityMeshNetwork, Rng streams) itself, seeded from
+//     the job, and only *reads* shared immutable inputs (a
+//     core::CompiledCity from runx::CityCache);
+//   - results land in a slot preallocated per job index, so the merge is a
+//     deterministic index-order fold no matter which worker finished first;
+//   - a job that throws is captured as that row's error — one bad grid
+//     point never takes down the sweep or shifts its siblings' rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obsx/manifest.hpp"
+#include "obsx/metrics.hpp"
+
+namespace citymesh::runx {
+
+/// One grid point of a sweep. `index` is the job's position in the expanded
+/// grid and defines its row's position in the merged report.
+struct RunJob {
+  std::size_t index = 0;
+  std::string city;   ///< profile name (label only; the fn resolves it)
+  std::uint64_t seed = 0;
+  std::string point;  ///< grid-point label: "eval", a scenario, a workload
+};
+
+/// What one run hands back to the merge.
+struct RunResult {
+  std::vector<std::string> cells;  ///< printed row, folded into the digest
+  obsx::MetricsSnapshot metrics;   ///< merged across the whole sweep
+  std::map<std::string, std::string> notes;  ///< merged into manifest notes
+  std::string error;  ///< non-empty: the job threw; cells/metrics are void
+  bool ok() const { return error.empty(); }
+};
+
+/// The run function: executed on a worker thread, once per job. Must be
+/// thread-safe in the sense above (own all mutable state; shared inputs
+/// read-only). Exceptions become the row's `error`.
+using RunFn = std::function<RunResult(const RunJob&)>;
+
+struct EngineConfig {
+  /// Worker threads. 1 (default) runs inline on the calling thread with no
+  /// threads spawned; 0 means std::thread::hardware_concurrency().
+  std::size_t jobs = 1;
+};
+
+/// Deterministically merged output of one sweep.
+struct SweepReport {
+  std::vector<RunJob> jobs;        ///< index order
+  std::vector<RunResult> results;  ///< parallel to `jobs`
+  std::size_t errors = 0;
+
+  /// Per-run metrics snapshots merged in index order.
+  obsx::MetricsSnapshot metrics;
+  /// FNV-1a over every row (labels + cells; error rows fold the error
+  /// message) in index order — identical for any worker count.
+  std::uint64_t digest = 0;
+  std::string digest_hex() const;
+
+  /// Rows for viz::print_table: [city, seed, point, cells... | ERROR msg].
+  std::vector<std::vector<std::string>> rows() const;
+};
+
+/// Resolve EngineConfig::jobs (0 -> hardware concurrency, min 1).
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// Execute the grid. Blocks until every job finished; spawns
+/// min(jobs, grid size) workers pulling from a shared atomic cursor.
+SweepReport run_jobs(std::vector<RunJob> jobs, const RunFn& fn,
+                     const EngineConfig& config = {});
+
+}  // namespace citymesh::runx

@@ -60,6 +60,29 @@ grep -q '"medium.airtime_us"' "${smoke_dir}/load1.json" || {
   echo "check.sh: load manifest missing contention counters" >&2; exit 1; }
 echo "check.sh: trafficx smoke (citymesh load + manifest digest) OK"
 
+# --- runx smoke: a sweep grid must produce byte-identical merged manifests
+# (including the determinism digest) no matter how many worker threads
+# execute it — the engine's core contract.
+cat > "${smoke_dir}/sweep.spec" <<'EOF'
+name check-sweep
+cities cambridge
+seeds 1 2
+pairs 20
+deliver 2
+point eval
+EOF
+"${cli}" sweep "${smoke_dir}/sweep.spec" --jobs 1 \
+  --json "${smoke_dir}/sweep1.json" >/dev/null || {
+  echo "check.sh: citymesh sweep failed" >&2; exit 1; }
+"${cli}" sweep "${smoke_dir}/sweep.spec" --jobs 4 \
+  --json "${smoke_dir}/sweep4.json" >/dev/null
+cmp -s "${smoke_dir}/sweep1.json" "${smoke_dir}/sweep4.json" || {
+  echo "check.sh: sweep manifests differ between --jobs 1 and --jobs 4" >&2
+  exit 1; }
+grep -q '"digest"' "${smoke_dir}/sweep1.json" || {
+  echo "check.sh: sweep manifest missing digest" >&2; exit 1; }
+echo "check.sh: runx smoke (sweep digest identical across --jobs) OK"
+
 # --- The obsx buffer/JSONL code is pointer-heavy and the trafficx runner
 # threads raw pointers through scheduled closures; run both test suites
 # under ASan+UBSan in a separate tree (skipped if that tree's configure
@@ -73,4 +96,18 @@ if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; th
   echo "check.sh: test_obsx + test_trafficx clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
+fi
+
+# --- The runx engine shares compiled cities across worker threads; run its
+# tests (plus the event engine they drive) under TSan in a third tree to
+# catch data races the determinism digest can't see.
+tsan_dir="${build_dir}-tsan"
+if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/null; then
+  cmake --build "${tsan_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target test_runx --target test_sim
+  "${tsan_dir}/tests/test_runx"
+  "${tsan_dir}/tests/test_sim"
+  echo "check.sh: test_runx + test_sim clean under TSan"
+else
+  echo "check.sh: TSan configure failed; skipping thread-sanitizer pass" >&2
 fi

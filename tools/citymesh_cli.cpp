@@ -9,6 +9,7 @@
 //   send <city> <from> <to>      simulate one end-to-end sealed message
 //   scenario <city> [opts]       replay a disaster scenario (src/faultx)
 //   load <city> [opts]           run a traffic workload (src/trafficx)
+//   sweep <spec-file> [opts]     run an experiment sweep grid (src/runx)
 //   trace <file.jsonl> [opts]    validate / summarize / filter a trace
 //
 // Common options:
@@ -37,6 +38,12 @@
 //   --bitrate BPS         shared-channel bitrate (default 50000)
 //   --queue N             per-AP transmit queue slots (default 8)
 //   --json FILE           write the run manifest (obsx) to FILE
+//
+// Sweep options:
+//   --jobs N              worker threads (default 1; 0 = all cores). The
+//                         merged report and manifest are byte-identical for
+//                         any N.
+//   --json FILE           write the merged sweep manifest to FILE
 //
 // Trace options:
 //   --trace FILE          (send/scenario/load) record every packet/fault
@@ -70,6 +77,8 @@
 #include "obsx/manifest.hpp"
 #include "osmx/citygen.hpp"
 #include "osmx/osm_xml.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/sweep.hpp"
 #include "trafficx/runner.hpp"
 #include "trafficx/spec.hpp"
 #include "trafficx/workload.hpp"
@@ -97,6 +106,7 @@ struct Options {
   std::string json_file;
   double bitrate_bps = 50e3;
   std::size_t queue_slots = 8;
+  std::size_t sweep_jobs = 1;
   std::string kind_filter;
   std::optional<std::uint32_t> node_filter;
   std::optional<std::uint32_t> packet_filter;
@@ -114,12 +124,14 @@ int usage() {
       "  send <city> <from> <to>    one sealed end-to-end message\n"
       "  scenario <city>            replay a disaster scenario (faultx)\n"
       "  load <city>                run a traffic workload (trafficx)\n"
+      "  sweep <spec-file>          run an experiment sweep grid (runx)\n"
       "  trace <file.jsonl>         validate / summarize / filter a trace\n"
       "options: --range M --density M2 --width M --pairs N --deliver N\n"
       "         --seed N --suppression --shadowed --osm FILE\n"
       "         --spec FILE --svg FILE (scenario)\n"
       "         --spec FILE --scenario FILE --bitrate BPS --queue N\n"
       "         --json FILE (load)\n"
+      "         --jobs N --json FILE (sweep)\n"
       "         --trace FILE (send/scenario/load)\n"
       "         --kind K --node N --packet P (trace)\n";
   return 2;
@@ -195,6 +207,11 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       const auto v = next();
       if (!v || !parse_u64(*v, n)) return std::nullopt;
       opts.queue_slots = n;
+    } else if (arg == "--jobs") {
+      std::uint64_t n = 0;
+      const auto v = next();
+      if (!v || !parse_u64(*v, n)) return std::nullopt;
+      opts.sweep_jobs = n;
     } else if (arg == "--svg") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -702,6 +719,67 @@ int cmd_load(const Options& opts) {
   return 0;
 }
 
+// Run a sweep spec (src/runx): expand cities x seeds x points, execute on
+// --jobs worker threads sharing one compiled-city cache, print the merged
+// table + digest. The digest and the --json manifest are byte-identical for
+// any --jobs value.
+int cmd_sweep(const Options& opts) {
+  if (opts.positional.empty()) {
+    std::cerr << "usage: citymesh sweep <spec-file> [--jobs N] [--json FILE]\n";
+    return 2;
+  }
+  const std::string& path = opts.positional[0];
+  std::ifstream file{path};
+  if (!file) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  std::string error;
+  const auto spec = runx::parse_sweep(file, &error);
+  if (!spec) {
+    std::cerr << path << ": " << error << '\n';
+    return 1;
+  }
+
+  runx::SweepRunConfig cfg;
+  cfg.jobs = opts.sweep_jobs;
+  cfg.network = network_config(opts);
+  cfg.network.medium.bitrate_bps = opts.bitrate_bps;
+  cfg.network.medium.tx_queue_capacity = opts.queue_slots;
+
+  runx::CityCache cache;
+  runx::SweepReport report;
+  try {
+    report = runx::run_sweep(*spec, cache, cfg);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+
+  std::cout << "sweep '" << spec->name << "': " << report.jobs.size()
+            << " runs over " << spec->cities.size() << " cities ("
+            << cache.compiles() << " compiled), jobs="
+            << runx::resolve_jobs(opts.sweep_jobs) << '\n';
+  viz::print_table(std::cout, "Sweep: " + spec->name, runx::sweep_headers(*spec),
+                   report.rows());
+  if (report.errors > 0) {
+    std::cout << report.errors << " of " << report.jobs.size()
+              << " runs failed (see ERROR rows)\n";
+  }
+  std::cout << "determinism digest: " << report.digest_hex()
+            << "  (same spec => same digest for any --jobs)\n";
+
+  if (!opts.json_file.empty()) {
+    const auto manifest = runx::sweep_manifest(*spec, report);
+    if (!manifest.write_file(opts.json_file)) {
+      std::cerr << "cannot write " << opts.json_file << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << opts.json_file << '\n';
+  }
+  return report.errors == 0 ? 0 : 1;
+}
+
 // Validate a recorded JSONL trace, optionally filter it, and summarize.
 // Matching events are reprinted as JSONL (pipe them into another file to
 // extract one packet's story); the summary counts events per kind.
@@ -792,6 +870,7 @@ int main(int argc, char** argv) {
   if (cmd == "send") return cmd_send(*opts);
   if (cmd == "scenario") return cmd_scenario(*opts);
   if (cmd == "load") return cmd_load(*opts);
+  if (cmd == "sweep") return cmd_sweep(*opts);
   if (cmd == "trace") return cmd_trace(*opts);
   return usage();
 }
