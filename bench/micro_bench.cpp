@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "core/ap_agent.hpp"
 #include "core/building_graph.hpp"
+#include "core/compiled_message.hpp"
 #include "core/conduit.hpp"
 #include "core/route_planner.hpp"
 #include "cryptox/chacha20.hpp"
@@ -105,6 +106,68 @@ static void BM_RebroadcastDecision(benchmark::State& state) {
   state.SetLabel(std::to_string(h.waypoints.size()) + " waypoints");
 }
 BENCHMARK(BM_RebroadcastDecision);
+
+namespace {
+
+// Shared setup for the per-reception cost comparison: a real cross-town
+// route's header (same construction as BM_RebroadcastDecision).
+wire::PacketHeader crosstown_header() {
+  const auto& map = boston_map();
+  const core::RoutePlanner planner{map, {}};
+  std::optional<core::PlannedRoute> route;
+  for (auto target = static_cast<core::BuildingId>(map.building_count() - 1);
+       target > 0 && (!route || route->waypoints.size() < 4); --target) {
+    route = planner.plan(0, target);
+  }
+  wire::PacketHeader h = typical_header();
+  if (route) h.waypoints = route->waypoints;
+  return h;
+}
+
+}  // namespace
+
+// The full per-reception pipeline the pre-compile ApAgent ran on every hop:
+// decode the header bytes, rebuild the ConduitPath, point-test the centroid.
+static void BM_RebroadcastDecisionLegacy(benchmark::State& state) {
+  const auto& map = boston_map();
+  const wire::PacketHeader h = crosstown_header();
+  const auto enc = wire::encode_header(h);
+  const auto building = static_cast<core::BuildingId>(map.building_count() / 2);
+  for (auto _ : state) {
+    const wire::PacketHeader decoded = wire::decode_header(enc.bytes);
+    benchmark::DoNotOptimize(core::should_rebroadcast(decoded, map, building));
+  }
+  state.SetLabel(std::to_string(h.waypoints.size()) + " waypoints");
+}
+BENCHMARK(BM_RebroadcastDecisionLegacy);
+
+// The same decision against a shared CompiledMessage: one hash-set lookup,
+// zero allocations. The ratio to Legacy is the per-reception win the
+// compile-once refactor banks on every hop of a flood.
+static void BM_RebroadcastDecisionCompiled(benchmark::State& state) {
+  const auto& map = boston_map();
+  const core::CompiledMessage msg = core::compile_message(crosstown_header(), map);
+  const auto building = static_cast<core::BuildingId>(map.building_count() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.conduit_member(building));
+  }
+  state.SetLabel(std::to_string(msg.members.size()) + " member buildings");
+}
+BENCHMARK(BM_RebroadcastDecisionCompiled);
+
+// The one-time price of compiling a message (decode + conduit rebuild +
+// grid-driven member-set construction): paid once per distinct message,
+// amortized over every reception that previously paid Legacy.
+static void BM_MessageCompile(benchmark::State& state) {
+  const auto& map = boston_map();
+  core::MessageCompiler compiler{map};
+  const auto enc = wire::encode_header(crosstown_header());
+  for (auto _ : state) {
+    compiler.clear_memo();  // force a real compile, not a memo hit
+    benchmark::DoNotOptimize(compiler.compile_bytes(enc.bytes));
+  }
+}
+BENCHMARK(BM_MessageCompile);
 
 static void BM_BuildingGraphConstruction(benchmark::State& state) {
   for (auto _ : state) {

@@ -4,6 +4,10 @@ namespace citymesh::core {
 
 bool should_rebroadcast(const wire::PacketHeader& header, const BuildingGraph& map,
                         BuildingId ap_building) {
+  // A corrupt width is header corruption, not a programming error: drop the
+  // packet instead of letting the ConduitPath ctor throw out of the event
+  // loop (the compile path classifies it as a malformed reception).
+  if (header.conduit_width_m <= 0.0) return false;
   if (ap_building >= map.building_count()) return false;
   for (const BuildingId wp : header.waypoints) {
     if (wp >= map.building_count()) return false;  // stale/foreign map
@@ -46,15 +50,33 @@ std::optional<BuildingId> parse_location_update(std::span<const std::uint8_t> pa
 
 }  // namespace
 
+MessageCompiler& ApAgent::compiler() {
+  if (compiler_ != nullptr) return *compiler_;
+  if (!own_compiler_) own_compiler_ = std::make_shared<MessageCompiler>(*map_);
+  return *own_compiler_;
+}
+
 AgentAction ApAgent::on_receive(const MeshPacket& packet, double now_s) {
   AgentAction action;
-  wire::PacketHeader header;
-  try {
-    header = wire::decode_header(packet.header_bytes);
-  } catch (const wire::DecodeError&) {
+  MessageCompiler& comp = compiler();
+  std::shared_ptr<const CompiledMessage> msg = packet.compiled;
+  if (!msg) {
+    try {
+      msg = comp.compile_bytes(packet.header_bytes);
+    } catch (const wire::DecodeError&) {
+      action.malformed = true;
+      return action;
+    }
+  }
+  if (msg->malformed) {
+    // Decodable bytes carrying a corrupt conduit width: same per-reception
+    // malformed drop as undecodable bytes (count it — compile_bytes only
+    // counts the decode failure case).
+    comp.count_malformed();
     action.malformed = true;
     return action;
   }
+  const wire::PacketHeader& header = msg->header;
   action.message_id = header.message_id;
   action.flags = header.flags;
 
@@ -88,7 +110,7 @@ AgentAction ApAgent::on_receive(const MeshPacket& packet, double now_s) {
 
   if (is_broadcast) {
     // Geo-broadcast: every postbox hosted inside the region receives a copy.
-    if (in_broadcast_region(header, *map_, building_)) {
+    if (msg->broadcast_member(building_)) {
       for (const auto& [tag, box] : postboxes_) store_into(box);
     }
   } else if (!header.waypoints.empty() && building_ == header.waypoints.back()) {
@@ -107,8 +129,16 @@ AgentAction ApAgent::on_receive(const MeshPacket& packet, double now_s) {
     }
   }
 
-  action.rebroadcast = should_rebroadcast(header, *map_, building_) ||
-                       in_broadcast_region(header, *map_, building_);
+  // The collapsed rebroadcast predicate: was decode + ConduitPath rebuild +
+  // point-in-rect per reception, now hash-set lookups against the compiled
+  // member sets (bit-identical membership — see compile_message).
+  comp.count_membership_lookup();
+  bool rebroadcast = msg->conduit_member(building_);
+  if (!rebroadcast && is_broadcast) {
+    comp.count_membership_lookup();
+    rebroadcast = msg->broadcast_member(building_);
+  }
+  action.rebroadcast = rebroadcast;
   return action;
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_set>
 
 #include "core/building_graph.hpp"
+#include "core/compiled_message.hpp"
 #include "core/conduit.hpp"
 #include "core/postbox.hpp"
 #include "mesh/ap_network.hpp"
@@ -45,6 +46,12 @@ struct MeshPacket {
   /// trace events (src/obsx) without decoding the header per hop. Not part
   /// of the wire format.
   std::uint32_t trace_id = 0;
+  /// Compile-once state shared by every reception of this message
+  /// (core/compiled_message). Attached at send/inject time by
+  /// CityMeshNetwork; when null (hand-built test packets, wire round-trips)
+  /// the receiving agent compiles lazily through its MessageCompiler, so the
+  /// work still happens once per distinct message, not per reception.
+  std::shared_ptr<const CompiledMessage> compiled;
 };
 
 /// Failure-injection modes for the security experiments (§1 "Security").
@@ -70,9 +77,13 @@ struct AgentAction {
 
 class ApAgent {
  public:
+  /// `compiler` is the shared per-network compile service; agents built
+  /// without one (standalone tests, benches) lazily grow a private compiler
+  /// so packets lacking a precompiled message still compile exactly once.
   ApAgent(mesh::ApId id, geo::Point position, BuildingId building,
-          const BuildingGraph& map)
-      : id_(id), position_(position), building_(building), map_(&map) {}
+          const BuildingGraph& map, MessageCompiler* compiler = nullptr)
+      : id_(id), position_(position), building_(building), map_(&map),
+        compiler_(compiler) {}
 
   mesh::ApId id() const { return id_; }
   geo::Point position() const { return position_; }
@@ -93,10 +104,16 @@ class ApAgent {
   std::size_t seen_count() const { return seen_.size(); }
 
  private:
+  /// The compile service in effect: the network's shared one, or a lazily
+  /// created private one for standalone agents.
+  MessageCompiler& compiler();
+
   mesh::ApId id_;
   geo::Point position_;
   BuildingId building_;
   const BuildingGraph* map_;
+  MessageCompiler* compiler_ = nullptr;
+  std::shared_ptr<MessageCompiler> own_compiler_;  ///< lazily created fallback
   AgentBehavior behavior_ = AgentBehavior::kNormal;
   std::unordered_set<std::uint32_t> seen_;
   std::unordered_map<std::uint32_t, std::shared_ptr<Postbox>> postboxes_;  // by tag

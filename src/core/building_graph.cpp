@@ -17,7 +17,7 @@ double edge_cost(double distance_m, EdgeWeight policy) {
 }
 
 BuildingGraph::BuildingGraph(const osmx::City& city, const BuildingGraphConfig& config)
-    : config_(config) {
+    : config_(config), centroid_grid_(config.transmission_range_m * 2.0) {
   if (config.transmission_range_m <= 0.0) {
     throw std::invalid_argument{"BuildingGraph: transmission range must be > 0"};
   }
@@ -35,7 +35,8 @@ BuildingGraph::BuildingGraph(const osmx::City& city, const BuildingGraphConfig& 
   }
 
   const double range = config.transmission_range_m * config.connect_factor;
-  geo::SpatialGrid grid{config.transmission_range_m * 2.0, centroids_};
+  centroid_grid_ = geo::SpatialGrid{config.transmission_range_m * 2.0, centroids_};
+  const geo::SpatialGrid& grid = centroid_grid_;
 
   graphx::GraphBuilder builder{centroids_.size()};
   // Max possible connect distance bounds the neighborhood query.

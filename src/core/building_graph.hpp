@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "geo/spatial_grid.hpp"
 #include "graphx/graph.hpp"
 #include "graphx/shortest_path.hpp"
 #include "osmx/building.hpp"
@@ -60,10 +61,16 @@ class BuildingGraph {
   /// Effective radius used in the connectivity prediction.
   double effective_radius(BuildingId id) const { return radii_.at(id); }
 
+  /// Spatial index over building centroids. Built once for edge discovery
+  /// and kept for message compilation (conduit bounding-box queries in
+  /// core/compiled_message) — both want cells near the transmission range.
+  const geo::SpatialGrid& centroid_grid() const { return centroid_grid_; }
+
  private:
   BuildingGraphConfig config_;
   std::vector<geo::Point> centroids_;
   std::vector<double> radii_;
+  geo::SpatialGrid centroid_grid_;
   graphx::Graph graph_;
 };
 

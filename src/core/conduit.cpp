@@ -12,12 +12,19 @@ std::vector<BuildingId> compress_route(const std::vector<BuildingId>& route,
   }
   if (route.size() <= 1) return route;
 
+  // The suffix scan below reads each centroid O(n^2) times; map.centroid()
+  // is a bounds-checked hash-free lookup but still a function call per read.
+  // Hoist them once into a scratch vector indexed like `route`.
+  std::vector<geo::Point> pts;
+  pts.reserve(route.size());
+  for (const BuildingId b : route) pts.push_back(map.centroid(b));
+
   std::vector<BuildingId> waypoints;
   waypoints.push_back(route.front());
 
   std::size_t i = 0;  // index (into route) of the current waypoint
   while (i + 1 < route.size()) {
-    const geo::Point start = map.centroid(route[i]);
+    const geo::Point start = pts[i];
     // The *latest* j whose conduit covers every intermediate centroid.
     // Coverage is not monotone in j (a later, better-aligned endpoint can
     // cover buildings an earlier one missed), so scan the whole suffix —
@@ -25,10 +32,14 @@ std::vector<BuildingId> compress_route(const std::vector<BuildingId>& route,
     // place the ending edge".
     std::size_t best = i + 1;
     for (std::size_t j = i + 2; j < route.size(); ++j) {
-      const geo::OrientedRect conduit{start, map.centroid(route[j]), config.width_m};
+      const geo::OrientedRect conduit{start, pts[j], config.width_m};
+      // Axis-aligned early reject: the slightly-expanded loose bbox is a
+      // strict superset of the conduit, so a bbox miss can skip the exact
+      // dot-product test without ever changing the coverage answer.
+      const geo::Rect box = conduit.bounds().expanded(1e-6);
       bool covers = true;
       for (std::size_t k = i + 1; k < j; ++k) {
-        if (!conduit.contains(map.centroid(route[k]))) {
+        if (!box.contains(pts[k]) || !conduit.contains(pts[k])) {
           covers = false;
           break;
         }

@@ -40,6 +40,10 @@ std::vector<BuildingId> compress_route(const std::vector<BuildingId>& route,
 /// The geometric union of the conduits defined by a waypoint sequence.
 class ConduitPath {
  public:
+  /// An empty path (no conduits, default width): what a malformed or
+  /// un-resolvable header compiles to (core/compiled_message).
+  ConduitPath() = default;
+
   ConduitPath(const std::vector<BuildingId>& waypoints, const BuildingGraph& map,
               double width_m);
 
@@ -57,7 +61,7 @@ class ConduitPath {
 
  private:
   std::vector<geo::OrientedRect> conduits_;
-  double width_m_;
+  double width_m_ = 50.0;
 };
 
 }  // namespace citymesh::core

@@ -73,6 +73,7 @@ CityEvaluation evaluate_with_network(CityMeshNetwork& network,
     }
   }
   eval.metrics = network.metrics().snapshot();
+  eval.compile_metrics = network.compiler().snapshot();
   return eval;
 }
 

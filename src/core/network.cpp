@@ -29,6 +29,7 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
     : compiled_(std::move(compiled)),
       config_(config),
       planner_(compiled_->map, config.conduit),
+      compiler_(compiled_->map),
       medium_(sim_, compiled_->aps.graph(), config.medium),
       message_rng_(config.seed),
       trace_(trace_capacity_for(config_, compiled_->aps.ap_count())),
@@ -36,7 +37,7 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
       aps_up_(compiled_->aps.ap_count()) {
   agents_.reserve(aps().ap_count());
   for (const auto& ap : aps().aps()) {
-    agents_.emplace_back(ap.id, ap.position, ap.building, compiled_->map);
+    agents_.emplace_back(ap.id, ap.position, ap.building, compiled_->map, &compiler_);
   }
   medium_.set_delivery_handler(
       [this](sim::NodeId to, sim::NodeId from,
@@ -198,8 +199,11 @@ void CityMeshNetwork::send_ack_from(mesh::ApId ap) {
   ack.waypoints = active_.ack_waypoints;
   ack.set_flag(wire::PacketFlag::kAck);
   const auto encoded = wire::encode_header(ack);
-  auto packet = std::make_shared<const MeshPacket>(
-      MeshPacket{encoded.bytes, /*payload=*/{}, ack.message_id});
+  // Compile once at build time (decodes the just-encoded bytes so receivers
+  // share the canonical decoded header); every reception is then a lookup.
+  auto packet = std::make_shared<const MeshPacket>(MeshPacket{
+      encoded.bytes, /*payload=*/{}, ack.message_id,
+      compiler_.compile_bytes(encoded.bytes)});
   n_acks_sent_->inc();
   trace_.record(obsx::TraceKind::kAck, sim_.now(), ap, ack.message_id);
   // The originating AP marks the ack as seen (it may also deliver when the
@@ -216,7 +220,13 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
                                       const std::shared_ptr<const MeshPacket>& packet) {
   ApAgent& agent = agents_[to];
   const AgentAction action = agent.on_receive(*packet, sim_.now());
-  if (action.malformed) return;
+  if (action.malformed) {
+    // Counted by the compiler (compile.malformed); traced here so corrupt
+    // receptions are visible in the event stream instead of vanishing.
+    trace_.record(obsx::TraceKind::kMalformed, sim_.now(),
+                  static_cast<std::uint32_t>(to), packet->trace_id);
+    return;
+  }
 
   const auto node = static_cast<std::uint32_t>(to);
   if (action.duplicate) {
@@ -327,7 +337,7 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
 
   auto packet = std::make_shared<const MeshPacket>(MeshPacket{
       encoded.bytes, std::vector<std::uint8_t>{payload.begin(), payload.end()},
-      header.message_id});
+      header.message_id, compiler_.compile_bytes(encoded.bytes)});
 
   outcome.message_id = header.message_id;
 
@@ -450,7 +460,7 @@ InjectResult CityMeshNetwork::inject(BuildingId from_building, const PostboxInfo
 
   auto packet = std::make_shared<const MeshPacket>(MeshPacket{
       encoded.bytes, std::vector<std::uint8_t>{payload.begin(), payload.end()},
-      header.message_id});
+      header.message_id, compiler_.compile_bytes(encoded.bytes)});
 
   FlowState& flow = flows_[header.message_id];
   flow.injected_at_s = sim_.now();

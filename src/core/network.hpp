@@ -27,6 +27,7 @@
 
 #include "core/ap_agent.hpp"
 #include "core/building_graph.hpp"
+#include "core/compiled_message.hpp"
 #include "core/postbox.hpp"
 #include "core/route_planner.hpp"
 #include "mesh/ap_network.hpp"
@@ -325,6 +326,15 @@ class CityMeshNetwork {
   obsx::TraceBuffer& trace() { return trace_; }
   const obsx::TraceBuffer& trace() const { return trace_; }
 
+  /// The shared compile-once service: every send/inject/ack compiles its
+  /// message here and attaches the result to the packet; agents fall back to
+  /// it for packets without one. Its compile.* counters live in the
+  /// compiler's own registry — NOT metrics() — so run manifests stay
+  /// byte-identical to the pre-compile pipeline (snapshot() serializes every
+  /// registered counter).
+  MessageCompiler& compiler() { return compiler_; }
+  const MessageCompiler& compiler() const { return compiler_; }
+
   /// Direct agent access for tests.
   ApAgent& agent(mesh::ApId id) { return agents_.at(id); }
 
@@ -346,6 +356,7 @@ class CityMeshNetwork {
   std::shared_ptr<const CompiledCity> compiled_;
   NetworkConfig config_;
   RoutePlanner planner_;
+  MessageCompiler compiler_;  ///< declared before agents_, which point at it
   sim::Simulator sim_;
   sim::BroadcastMedium<MeshPacket> medium_;
   std::vector<ApAgent> agents_;

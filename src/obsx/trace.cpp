@@ -16,7 +16,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 16> kKindNames{{
+constexpr std::array<KindName, 17> kKindNames{{
     {TraceKind::kOriginate, "originate"},
     {TraceKind::kTx, "tx"},
     {TraceKind::kRx, "rx"},
@@ -33,6 +33,7 @@ constexpr std::array<KindName, 16> kKindNames{{
     {TraceKind::kApUp, "ap-up"},
     {TraceKind::kRegionDegrade, "region-degrade"},
     {TraceKind::kRegionRestore, "region-restore"},
+    {TraceKind::kMalformed, "malformed"},
 }};
 
 }  // namespace

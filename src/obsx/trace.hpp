@@ -43,6 +43,7 @@ enum class TraceKind : std::uint8_t {
   kApUp,           ///< fault action: AP restored
   kRegionDegrade,  ///< fault action: degraded-link region activated
   kRegionRestore,  ///< fault action: degraded-link region deactivated
+  kMalformed,      ///< reception dropped: undecodable or corrupt header
 };
 
 std::string_view to_string(TraceKind kind);

@@ -35,6 +35,15 @@
 // medium wrote, and set_trace() attaches a TraceBuffer that receives one
 // kTx/kRx/kDropLoss/kDropFaulted/kDeferred/kDropQueue event per
 // physical-layer action.
+//
+// Packet immutability contract: the medium fans one
+// shared_ptr<const Packet> out to every receiver, queues it behind busy
+// channels, and captures it in backoff/retransmit closures — the same object
+// is alive at many simulated times at once, so a Packet must be strictly
+// read-only after transmit(). core::MeshPacket leans on this: its
+// shared_ptr<const CompiledMessage> (decoded header + precomputed membership
+// sets, core/compiled_message) rides along every hop and is safely shared
+// across all of them, including across runx worker threads.
 #pragma once
 
 #include <cmath>

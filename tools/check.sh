@@ -83,31 +83,51 @@ grep -q '"digest"' "${smoke_dir}/sweep1.json" || {
   echo "check.sh: sweep manifest missing digest" >&2; exit 1; }
 echo "check.sh: runx smoke (sweep digest identical across --jobs) OK"
 
-# --- The obsx buffer/JSONL code is pointer-heavy and the trafficx runner
-# threads raw pointers through scheduled closures; run both test suites
-# under ASan+UBSan in a separate tree (skipped if that tree's configure
-# fails, e.g. no sanitizer runtime on minimal images).
+# --- Golden digest-identity gate: the committed manifest in tools/golden was
+# produced by the pre-compile-once packet pipeline. Any behavioral drift in
+# decode, conduit reconstruction, rebroadcast membership, RNG draw order, or
+# event ordering changes the determinism digest and fails the byte compare —
+# refactors may move *when* work happens, never *what* the protocol does.
+"${cli}" sweep "${repo_root}/tools/golden/fig6_smoke.spec" --jobs 1 \
+  --json "${smoke_dir}/golden.json" >/dev/null || {
+  echo "check.sh: golden sweep failed" >&2; exit 1; }
+cmp -s "${repo_root}/tools/golden/fig6_smoke.json" "${smoke_dir}/golden.json" || {
+  echo "check.sh: sweep manifest drifted from tools/golden/fig6_smoke.json" >&2
+  exit 1; }
+echo "check.sh: golden digest-identity gate OK"
+
+# --- The obsx buffer/JSONL code is pointer-heavy, the trafficx runner
+# threads raw pointers through scheduled closures, the medium fans shared
+# immutable packets through queues and backoff closures, and the compiled-
+# message layer shares read-only CompiledMessages across receptions; run all
+# four suites under ASan+UBSan in a separate tree (skipped if that tree's
+# configure fails, e.g. no sanitizer runtime on minimal images).
 san_dir="${build_dir}-asan"
 if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; then
   cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_obsx --target test_trafficx
+    --target test_obsx --target test_trafficx --target test_sim \
+    --target test_compiled
   "${san_dir}/tests/test_obsx"
   "${san_dir}/tests/test_trafficx"
-  echo "check.sh: test_obsx + test_trafficx clean under ASan+UBSan"
+  "${san_dir}/tests/test_sim"
+  "${san_dir}/tests/test_compiled"
+  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
 fi
 
-# --- The runx engine shares compiled cities across worker threads; run its
-# tests (plus the event engine they drive) under TSan in a third tree to
-# catch data races the determinism digest can't see.
+# --- The runx engine shares compiled cities across worker threads, and the
+# compile-once refactor additionally shares immutable CompiledMessages; run
+# those tests (plus the event engine they drive) under TSan in a third tree
+# to catch data races the determinism digest can't see.
 tsan_dir="${build_dir}-tsan"
 if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/null; then
   cmake --build "${tsan_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_runx --target test_sim
+    --target test_runx --target test_sim --target test_compiled
   "${tsan_dir}/tests/test_runx"
   "${tsan_dir}/tests/test_sim"
-  echo "check.sh: test_runx + test_sim clean under TSan"
+  "${tsan_dir}/tests/test_compiled"
+  echo "check.sh: test_runx + test_sim + test_compiled clean under TSan"
 else
   echo "check.sh: TSan configure failed; skipping thread-sanitizer pass" >&2
 fi

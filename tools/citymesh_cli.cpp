@@ -446,6 +446,12 @@ int cmd_send(const Options& opts) {
               << outcome.transmissions << " broadcasts";
     if (const auto oh = outcome.overhead()) std::cout << " (" << viz::fmt(*oh, 1) << "x)";
     std::cout << '\n';
+    // Compile-once evidence: decodes/compiles track distinct messages (one
+    // here, two with an ack), not the per-AP receptions of the flood.
+    std::cout << "  hot path: " << net.compiler().header_decodes()
+              << " header decodes, " << net.compiler().msg_compiles()
+              << " msg compiles, " << net.compiler().membership_lookups()
+              << " membership lookups\n";
   }
   if (!opts.trace_file.empty() && write_trace_file(net, opts.trace_file) != 0) {
     return 1;
