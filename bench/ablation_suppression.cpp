@@ -3,16 +3,19 @@
 // building rebroadcast ... we are confident that this overhead can be
 // reduced").
 //
-// With suppression on, an AP delays its rebroadcast by a random backoff and
-// cancels it when it overhears a copy from another AP of its own building.
-// The sweep shows the overhead saving grows with AP density (more same-
-// building duplicates to cancel) at essentially unchanged deliverability.
+// With suppression on (the relayx building-backoff policy), an AP delays
+// its rebroadcast by a random backoff and cancels it when it overhears a
+// copy from another AP of its own building. The sweep shows the overhead
+// saving grows with AP density (more same-building duplicates to cancel) at
+// essentially unchanged deliverability.
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "relayx/policy.hpp"
 #include "viz/ascii.hpp"
 
 namespace core = citymesh::core;
+namespace relayx = citymesh::relayx;
 namespace viz = citymesh::viz;
 
 int main(int argc, char** argv) {
@@ -28,7 +31,8 @@ int main(int argc, char** argv) {
     for (int suppressed = 0; suppressed < 2; ++suppressed) {
       auto cfg = citymesh::benchutil::sweep_config();
       cfg.network.placement.density_per_m2 = 1.0 / m2_per_ap;
-      cfg.network.building_suppression = suppressed == 1;
+      cfg.network.relay.kind = suppressed == 1 ? relayx::PolicyKind::kBuildingBackoff
+                                               : relayx::PolicyKind::kFlood;
       const auto eval = core::evaluate_city(city, cfg);
       emit.add_metrics(eval.metrics);
       deliver[suppressed] = eval.deliverability();

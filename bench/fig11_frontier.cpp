@@ -1,0 +1,293 @@
+// Figure 11 (extension): the overhead/deliverability frontier of
+// rebroadcast-suppression policies (src/relayx).
+//
+// The paper reports a 13x median transmission overhead for the conduit
+// flood and conjectures it "can be reduced" (§4). This bench quantifies the
+// trade: every relayx policy runs the same city-scale workload (src/
+// trafficx, airtime-contention medium) at increasing offered load, with and
+// without a downtown blackout (src/faultx), and reports where each policy
+// lands on the overhead-vs-deliverability plane. Overhead is the paper's
+// ratio measured per flow under concurrency: attributed broadcasts divided
+// by the ideal unicast hop count (trafficx::RunConfig::measure_overhead).
+//
+// Expected shape: flood anchors the frontier at maximal overhead;
+// building-backoff trims the same-building duplicates; counter-gossip and
+// etx-priority cut the median by >=3x at light load while giving up at most
+// a couple of points of deliverability. Under load the ranking *flips in
+// flood's disfavor*: the redundant rebroadcasts saturate the shared channel,
+// so suppression buys deliverability back (fewer deferrals and drops).
+//
+// Everything is seeded; `--quick` shrinks the grid for smoke/CI runs and
+// the determinism digest makes the two-run comparison a one-line diff.
+// Pass city names as arguments to change the default (boston).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <iterator>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/evaluation.hpp"
+#include "core/network.hpp"
+#include "faultx/engine.hpp"
+#include "faultx/scenario.hpp"
+#include "geo/geometry.hpp"
+#include "osmx/citygen.hpp"
+#include "relayx/policy.hpp"
+#include "runx/city_cache.hpp"
+#include "runx/engine.hpp"
+#include "trafficx/runner.hpp"
+#include "trafficx/workload.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace faultx = citymesh::faultx;
+namespace geo = citymesh::geo;
+namespace osmx = citymesh::osmx;
+namespace relayx = citymesh::relayx;
+namespace runx = citymesh::runx;
+namespace trafficx = citymesh::trafficx;
+namespace viz = citymesh::viz;
+
+namespace {
+
+constexpr relayx::PolicyKind kPolicies[] = {
+    relayx::PolicyKind::kFlood, relayx::PolicyKind::kBuildingBackoff,
+    relayx::PolicyKind::kCounterGossip, relayx::PolicyKind::kEtxPriority};
+constexpr double kRates[] = {2.0, 16.0};
+constexpr double kQuickRates[] = {4.0};
+constexpr const char* kScenarios[] = {"clear", "blackout"};
+constexpr double kDurationS = 20.0;
+constexpr double kQuickDurationS = 6.0;
+constexpr double kBitrateBps = 125e3;
+constexpr std::size_t kQueueSlots = 2;
+constexpr std::uint64_t kWorkloadSeed = 1111;
+constexpr double kBlackoutFraction = 0.25;
+// Assessment window for the overhearing policies. Cancel-on-overhear only
+// sees copies that finished serializing inside the window, so it must span
+// several serialization times (a 300-550 B packet takes ~20-35 ms at
+// 125 kbps); the building-backoff policy keeps its legacy 0.02 s backoff —
+// the golden-equivalent configuration — and pays for it with fewer cancels
+// on a serializing channel.
+constexpr double kAssessWindowS = 0.25;
+
+core::NetworkConfig network_config(relayx::PolicyKind policy) {
+  core::NetworkConfig config;
+  config.placement.seed = 7;
+  // The paper's 13x-overhead regime: one AP per ~50 m^2 of footprint. At
+  // the default sparse placement the flood's median overhead is only ~4x
+  // and there is little redundancy left to suppress; Figure 11 measures the
+  // frontier where the redundancy actually lives.
+  config.placement.density_per_m2 = 1.0 / 50.0;
+  config.seed = 99;
+  config.medium.bitrate_bps = kBitrateBps;
+  config.medium.tx_queue_capacity = kQueueSlots;
+  config.relay.kind = policy;
+  if (policy == relayx::PolicyKind::kCounterGossip ||
+      policy == relayx::PolicyKind::kEtxPriority) {
+    config.relay.backoff_s = kAssessWindowS;
+  }
+  return config;
+}
+
+trafficx::WorkloadSpec workload_spec(double rate_per_s, double duration_s) {
+  trafficx::WorkloadSpec spec;
+  spec.name = "fig11";
+  spec.seed = kWorkloadSeed;
+  spec.duration_s = duration_s;
+  spec.rate_per_s = rate_per_s;
+  spec.spatial = trafficx::SpatialMode::kHotspot;
+  spec.hotspot_bias = 16.0;
+  spec.payload_min_bytes = 256;
+  spec.payload_max_bytes = 512;
+  return spec;
+}
+
+// The central block of the city extent, blacked out at t=0 for the
+// "blackout" scenario axis (no restoration: the workload rides through a
+// standing partial outage).
+faultx::Scenario blackout_scenario(const osmx::City& city) {
+  const geo::Rect& e = city.extent();
+  const geo::Point c{(e.min.x + e.max.x) / 2.0, (e.min.y + e.max.y) / 2.0};
+  const double s = std::sqrt(kBlackoutFraction);
+  const double hw = e.width() * s / 2.0;
+  const double hh = e.height() * s / 2.0;
+  faultx::Scenario scenario;
+  scenario.name = "fig11-blackout";
+  scenario.seed = 811;
+  faultx::BlackoutEvent blackout;
+  blackout.region =
+      geo::Polygon::rectangle({{c.x - hw, c.y - hh}, {c.x + hw, c.y + hh}});
+  blackout.at_s = 0.0;
+  scenario.blackouts.push_back(std::move(blackout));
+  return scenario;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig11_frontier", argc, argv};
+  const std::size_t n_jobs = citymesh::benchutil::parse_jobs(argc, argv);
+  bool quick = false;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        quick = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+  }
+  const double duration_s = quick ? kQuickDurationS : kDurationS;
+  const std::span<const double> rates =
+      quick ? std::span<const double>{kQuickRates} : std::span<const double>{kRates};
+
+  std::cout << "CityMesh extension - Figure 11 (overhead/deliverability frontier)\n"
+            << "relayx rebroadcast policies under offered load, with and without\n"
+            << "a downtown blackout (" << runx::resolve_jobs(n_jobs)
+            << " worker thread(s)" << (quick ? ", --quick grid" : "") << ")\n";
+
+  std::vector<osmx::CityProfile> profiles;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) profiles.push_back(osmx::profile_by_name(argv[i]));
+  } else {
+    profiles.push_back(osmx::profile_by_name("boston"));
+  }
+
+  emit.manifest().city = profiles.size() == 1 ? profiles.front().name : "all";
+  emit.manifest().seeds["workload"] = kWorkloadSeed;
+  emit.manifest().set_param("duration_s", duration_s);
+  emit.manifest().set_param("bitrate_bps", kBitrateBps);
+  emit.manifest().set_param("blackout_fraction", kBlackoutFraction);
+  emit.manifest().set_param("quick", quick ? std::uint64_t{1} : std::uint64_t{0});
+
+  // One run per (city, policy, rate, scenario). All points of a city share
+  // the compiled mesh through the cache (the relay policy is not part of the
+  // compile key); each run owns a fresh network so only policy/load/faults
+  // vary.
+  const std::size_t n_scen = std::size(kScenarios);
+  const std::size_t n_points = std::size(kPolicies) * rates.size() * n_scen;
+  std::vector<runx::RunJob> grid;
+  for (const auto& profile : profiles) {
+    emit.manifest().seeds[profile.name] = profile.seed;
+    for (const auto policy : kPolicies) {
+      for (const double rate : rates) {
+        for (const char* scenario : kScenarios) {
+          runx::RunJob job;
+          job.city = profile.name;
+          job.seed = kWorkloadSeed;
+          job.point = std::string{relayx::to_string(policy)} + " " +
+                      viz::fmt(rate, 1) + "/s " + scenario;
+          grid.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  runx::CityCache cache;
+  const runx::RunFn fn = [&](const runx::RunJob& job) {
+    const auto& profile = profiles[job.index / n_points];
+    const std::size_t local = job.index % n_points;
+    const auto policy = kPolicies[local / (rates.size() * n_scen)];
+    const double rate = rates[(local / n_scen) % rates.size()];
+    const bool blackout = local % n_scen == 1;
+
+    const core::NetworkConfig config = network_config(policy);
+    const auto compiled = cache.get(profile, config);
+    core::CityMeshNetwork network{compiled, config};
+
+    std::optional<faultx::ScenarioEngine> engine;
+    if (blackout) {
+      engine.emplace(network, blackout_scenario(compiled->city));
+      engine->install();
+    }
+
+    const auto schedule = trafficx::compile(workload_spec(rate, duration_s),
+                                            compiled->city);
+    trafficx::RunConfig run_config;
+    run_config.measure_overhead = true;
+    const auto run = trafficx::run_workload(network, schedule, run_config);
+    const core::CapacitySummary& s = run.summary;
+    const relayx::RebroadcastPolicy& relay = network.relay_policy();
+
+    runx::RunResult result;
+    result.cells = {profile.name,
+                    std::string{relayx::to_string(policy)},
+                    viz::fmt(rate, 1),
+                    blackout ? "blackout" : "clear",
+                    std::to_string(s.flows_offered),
+                    viz::fmt(s.delivery_rate(), 3),
+                    viz::fmt(s.overhead_median, 1),
+                    std::to_string(s.transmissions),
+                    std::to_string(relay.cancelled()),
+                    std::to_string(s.deferrals),
+                    std::to_string(s.queue_drops),
+                    viz::fmt(s.latency_p50_s * 1e3, 1)};
+    result.metrics = run.metrics;
+    return result;
+  };
+  const runx::SweepReport report = runx::run_jobs(std::move(grid), fn, {n_jobs});
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (!report.results[i].ok()) {
+      std::cerr << "  [" << report.jobs[i].city << " " << report.jobs[i].point
+                << "] failed: " << report.results[i].error << '\n';
+      rows.push_back({report.jobs[i].city, report.jobs[i].point,
+                      "ERROR: " + report.results[i].error});
+      continue;
+    }
+    emit.add_metrics(report.results[i].metrics);
+    rows.push_back(report.results[i].cells);
+  }
+
+  viz::print_table(std::cout,
+                   "Figure 11: overhead/deliverability frontier (relayx policies)",
+                   {"city", "policy", "rate/s", "scenario", "offered", "deliver",
+                    "overhead", "tx", "cancelled", "deferrals", "drops", "p50 ms"},
+                   rows);
+
+  // Frontier summary: each policy vs the flood anchor of its (city, rate,
+  // scenario) cell — overhead reduction factor and deliverability delta.
+  std::vector<std::vector<std::string>> frontier;
+  const std::size_t per_policy = rates.size() * n_scen;
+  for (std::size_t c = 0; c < profiles.size(); ++c) {
+    for (std::size_t p = 1; p < std::size(kPolicies); ++p) {
+      for (std::size_t k = 0; k < per_policy; ++k) {
+        const std::size_t flood_i = c * n_points + k;
+        const std::size_t policy_i = c * n_points + p * per_policy + k;
+        if (!report.results[flood_i].ok() || !report.results[policy_i].ok()) continue;
+        const auto& fc = report.results[flood_i].cells;
+        const auto& pc = report.results[policy_i].cells;
+        const double flood_overhead = std::stod(fc[6]);
+        const double policy_overhead = std::stod(pc[6]);
+        const double d_deliver = (std::stod(pc[5]) - std::stod(fc[5])) * 100.0;
+        frontier.push_back(
+            {fc[0], pc[1], fc[2], fc[3],
+             policy_overhead > 0.0 ? viz::fmt(flood_overhead / policy_overhead, 1) + "x"
+                                   : "-",
+             (d_deliver >= 0.0 ? "+" : "") + viz::fmt(d_deliver, 1) + "pp"});
+      }
+    }
+  }
+  viz::print_table(std::cout, "Frontier vs flood (overhead cut, deliverability delta)",
+                   {"city", "policy", "rate/s", "scenario", "overhead cut",
+                    "deliver delta"},
+                   frontier);
+
+  citymesh::benchutil::digest_rows(emit, rows);
+  citymesh::benchutil::digest_rows(emit, frontier);
+  std::cout << "\nDeterminism digest: " << emit.digest_hex()
+            << "  (same seed => same digest across runs)\n"
+            << "Expected shape: flood anchors the frontier at maximal overhead;\n"
+            << "counter-gossip and etx-priority cut the median >=3x at a\n"
+            << "deliverability cost within a couple of points, and past the\n"
+            << "contention knee suppression wins deliverability back outright.\n";
+  return emit.finish();
+}

@@ -17,7 +17,9 @@
 #include "geo/rng.hpp"
 #include "geo/spatial_grid.hpp"
 #include "graphx/graph.hpp"
+#include "mesh/ap_network.hpp"
 #include "osmx/citygen.hpp"
+#include "relayx/policy.hpp"
 #include "runx/city_cache.hpp"
 #include "runx/engine.hpp"
 #include "sim/medium.hpp"
@@ -168,6 +170,78 @@ static void BM_MessageCompile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MessageCompile);
+
+// --------------------------------------------------------------- relayx ---
+
+namespace {
+
+const citymesh::mesh::ApNetwork& boston_aps() {
+  static const citymesh::mesh::ApNetwork net =
+      citymesh::mesh::place_aps(boston(), {});
+  return net;
+}
+
+// Receptions cycling over real (ap, neighbor) link pairs, so observe() pays
+// a representative CSR neighbor scan and elect() a representative score sum.
+std::vector<citymesh::relayx::Reception> link_receptions() {
+  const auto& net = boston_aps();
+  std::vector<citymesh::relayx::Reception> rx;
+  for (citymesh::mesh::ApId ap = 0; ap < net.ap_count() && rx.size() < 4096; ++ap) {
+    for (const auto& edge : net.graph().neighbors(ap)) {
+      rx.push_back({ap, static_cast<citymesh::mesh::ApId>(edge.to), 1, 0.0});
+      if (rx.size() >= 4096) break;
+    }
+  }
+  return rx;
+}
+
+}  // namespace
+
+// The flood fast path: the per-reception policy cost the golden-gated
+// default pipeline adds over the bare membership check. Must stay in the
+// low-ns regime (it is a virtual call returning a constant).
+static void BM_RelayPolicyFloodElect(benchmark::State& state) {
+  const auto policy = citymesh::relayx::make_policy({}, boston_aps());
+  const auto rx = link_receptions();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->elect(rx[i]));
+    if (++i == rx.size()) i = 0;
+  }
+}
+BENCHMARK(BM_RelayPolicyFloodElect);
+
+// etx-priority election: per-AP link-quality score (CSR row scan) + one RNG
+// draw. The most expensive shipped decision path; bounds the rate at which
+// a loaded AP can arm rebroadcast timers.
+static void BM_RelayPolicyEtxElect(benchmark::State& state) {
+  citymesh::relayx::PolicyConfig config;
+  config.kind = citymesh::relayx::PolicyKind::kEtxPriority;
+  const auto policy = citymesh::relayx::make_policy(config, boston_aps());
+  const auto rx = link_receptions();
+  for (const auto& r : rx) policy->observe(r);  // warm the link estimates
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->elect(rx[i]));
+    if (++i == rx.size()) i = 0;
+  }
+}
+BENCHMARK(BM_RelayPolicyEtxElect);
+
+// etx-priority link-estimate update: runs on *every* reception, duplicates
+// included, so it must stay cheaper than the elect path.
+static void BM_RelayPolicyEtxObserve(benchmark::State& state) {
+  citymesh::relayx::PolicyConfig config;
+  config.kind = citymesh::relayx::PolicyKind::kEtxPriority;
+  const auto policy = citymesh::relayx::make_policy(config, boston_aps());
+  const auto rx = link_receptions();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    policy->observe(rx[i]);
+    if (++i == rx.size()) i = 0;
+  }
+}
+BENCHMARK(BM_RelayPolicyEtxObserve);
 
 static void BM_BuildingGraphConstruction(benchmark::State& state) {
   for (auto _ : state) {

@@ -194,15 +194,18 @@ CapacitySummary summarize_capacity(std::span<const FlowRecord> flows,
   out.airtime_s = airtime_s;
 
   std::vector<double> latencies;
+  std::vector<double> overheads;
   double delivered_bytes = 0.0;
   for (const FlowRecord& f : flows) {
     ++out.flows_offered;
+    out.transmissions += f.transmissions;
     if (!f.injected) continue;
     ++out.flows_injected;
     if (!f.delivered) continue;
     ++out.flows_delivered;
     delivered_bytes += static_cast<double>(f.payload_bytes);
     latencies.push_back(f.latency_s);
+    if (const auto oh = f.overhead()) overheads.push_back(*oh);
   }
   if (duration_s > 0.0) {
     out.offered_load_per_s = static_cast<double>(out.flows_offered) / duration_s;
@@ -211,6 +214,9 @@ CapacitySummary summarize_capacity(std::span<const FlowRecord> flows,
   if (!latencies.empty()) {
     out.latency_p50_s = geo::quantile(latencies, 0.5);
     out.latency_p99_s = geo::quantile(latencies, 0.99);
+  }
+  if (!overheads.empty()) {
+    out.overhead_median = geo::quantile(overheads, 0.5);
   }
   return out;
 }

@@ -11,6 +11,7 @@
 // through the full simulation (Figure 6).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -163,6 +164,17 @@ struct FlowRecord {
   bool injected = false;          ///< false: no route or dead source AP
   bool delivered = false;
   double latency_s = 0.0;         ///< injection -> first postbox store
+  /// Broadcasts of this flow actually aired (medium tx attribution).
+  std::size_t transmissions = 0;
+  /// Ideal unicast hop count source AP -> destination building over the
+  /// static AP graph; 0 = not measured (trafficx::RunConfig::
+  /// measure_overhead) or disconnected.
+  std::size_t min_hops = 0;
+  /// transmissions / min_hops — the paper's per-message overhead ratio.
+  std::optional<double> overhead() const {
+    if (min_hops == 0) return std::nullopt;
+    return static_cast<double>(transmissions) / static_cast<double>(min_hops);
+  }
 };
 
 /// Aggregate capacity metrics of one workload run at one offered load —
@@ -186,6 +198,13 @@ struct CapacitySummary {
   std::uint64_t queue_drops = 0;
   std::uint64_t deferrals = 0;
   double airtime_s = 0.0;  ///< summed channel-busy time across all APs
+
+  // Transmission-overhead accounting (bench/fig11_frontier); zeros unless
+  // the runner measured per-flow attribution + ideal hop counts.
+  std::uint64_t transmissions = 0;  ///< sum of per-flow attributed broadcasts
+  /// Median per-delivered-flow transmissions/min_hops (the paper's overhead
+  /// ratio under concurrent load); 0 when unmeasured.
+  double overhead_median = 0.0;
 };
 
 /// Fold per-flow records plus the medium's contention counters into one

@@ -31,7 +31,6 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
       planner_(compiled_->map, config.conduit),
       compiler_(compiled_->map),
       medium_(sim_, compiled_->aps.graph(), config.medium),
-      message_rng_(config.seed),
       trace_(trace_capacity_for(config_, compiled_->aps.ap_count())),
       ap_status_(compiled_->aps.ap_count(), ApStatus::kUp),
       aps_up_(compiled_->aps.ap_count()) {
@@ -48,6 +47,33 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
   medium_.set_link_loss([this](sim::NodeId from, sim::NodeId to) {
     return extra_link_loss(from, to);
   });
+  // Per-flow transmission attribution (src/trafficx): one hash probe per
+  // on-air packet, and only while injected flows are being tracked — the
+  // single-send paths see an empty map and pay one branch.
+  medium_.set_tx_observer([this](sim::NodeId, const MeshPacket& p) {
+    if (flows_.empty()) return;
+    if (const auto it = flows_.find(p.trace_id); it != flows_.end()) {
+      ++it->second.transmissions;
+    }
+  });
+
+  // Rebroadcast policy (src/relayx). The policy draws from the network seed;
+  // the legacy building_suppression flag maps onto building-backoff. The
+  // relayx.* counters are bound into metrics_ for non-flood policies only,
+  // mirroring the MessageCompiler precedent: snapshot() serializes every
+  // registered counter, and flood manifests must stay byte-identical to the
+  // pre-relayx pipeline.
+  relayx::PolicyConfig relay = config_.relay;
+  relay.seed = config_.seed;
+  if (config_.building_suppression && relay.kind == relayx::PolicyKind::kFlood) {
+    relay.kind = relayx::PolicyKind::kBuildingBackoff;
+    relay.backoff_s = config_.suppression_backoff_s;
+    relay.suppress_radius_m = config_.suppression_radius_m;
+  }
+  policy_ = relayx::make_policy(relay, compiled_->aps);
+  if (policy_->kind() != relayx::PolicyKind::kFlood) {
+    policy_->bind_metrics(metrics_);
+  }
 
   // Observability wiring: the medium's tally *is* the network's medium.*
   // metric set, and the medium stamps trace events with the packet's
@@ -137,6 +163,11 @@ void CityMeshNetwork::transmit_counted(mesh::ApId from,
   // silent: the medium's node filter blocks it, counts it under
   // medium.blocked_transmissions (not transmissions), and traces the drop.
   medium_.transmit(from, packet);
+}
+
+void CityMeshNetwork::clear_pending_relays() {
+  for (const auto& [key, relay] : pending_) sim_.cancel(relay.event);
+  pending_.clear();
 }
 
 void CityMeshNetwork::set_ap_status(mesh::ApId id, ApStatus status) {
@@ -229,21 +260,27 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
   }
 
   const auto node = static_cast<std::uint32_t>(to);
+  // Link-quality observation hook (etx-priority); a no-op for the others.
+  policy_->observe({to, from, action.message_id, sim_.now()});
   if (action.duplicate) {
     n_dup_suppressed_->inc();
     trace_.record(obsx::TraceKind::kDupSuppressed, sim_.now(), node,
                   action.message_id, static_cast<std::uint32_t>(from));
-    // Same-building overhearing suppression: a *nearby* AP of this building
-    // already carried the packet, so this AP's pending copy is redundant.
-    if (config_.building_suppression &&
-        aps().ap(from).building == aps().ap(to).building &&
-        geo::distance(aps().ap(from).position, aps().ap(to).position) <=
-            config_.suppression_radius_m) {
+    // Overhear-cancel: this AP holds a pending (backoff-delayed) copy of the
+    // same message; the policy judges whether the overheard transmission
+    // makes it redundant (same-building radius, copy counter, ...).
+    if (!pending_.empty()) {
       const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
       if (const auto it = pending_.find(key); it != pending_.end()) {
-        *it->second = true;  // cancelled
-        pending_.erase(it);
-        n_suppression_cancelled_->inc();
+        ++it->second.overheard;
+        if (policy_->cancel_on_overhear({to, from, action.message_id, sim_.now()},
+                                        it->second.overheard)) {
+          sim_.cancel(it->second.event);
+          pending_.erase(it);
+          n_suppression_cancelled_->inc();
+          trace_.record(obsx::TraceKind::kSuppressed, sim_.now(), node,
+                        action.message_id, static_cast<std::uint32_t>(from));
+        }
       }
     }
     return;
@@ -280,19 +317,28 @@ void CityMeshNetwork::handle_delivery(sim::NodeId to, sim::NodeId from,
   if (action.rebroadcast) {
     n_rebroadcasts_->inc();
     trace_.record(obsx::TraceKind::kRebroadcast, sim_.now(), node, action.message_id);
-    if (!config_.building_suppression) {
-      transmit_counted(to, packet);
-    } else {
-      const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
-      auto cancelled = std::make_shared<bool>(false);
-      pending_[key] = cancelled;
-      const sim::SimTime backoff =
-          message_rng_.uniform(0.0, config_.suppression_backoff_s);
-      sim_.schedule_in(backoff, [this, to, packet, key, cancelled] {
-        if (*cancelled) return;
-        pending_.erase(key);
+    const relayx::Decision decision =
+        policy_->elect({to, from, action.message_id, sim_.now()});
+    switch (decision.kind) {
+      case relayx::Decision::Kind::kRelayNow:
         transmit_counted(to, packet);
-      });
+        break;
+      case relayx::Decision::Kind::kDelay: {
+        const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
+        trace_.record(obsx::TraceKind::kElected, sim_.now(), node, action.message_id);
+        const auto event =
+            sim_.schedule_cancelable_in(decision.delay_s, [this, to, packet, key] {
+              pending_.erase(key);
+              policy_->count_fired();
+              transmit_counted(to, packet);
+            });
+        pending_[key] = {event, 0};
+        break;
+      }
+      case relayx::Decision::Kind::kSuppress:
+        trace_.record(obsx::TraceKind::kSuppressed, sim_.now(), node,
+                      action.message_id);
+        break;
     }
   } else {
     n_conduit_rejects_->inc();
@@ -343,7 +389,7 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
 
   // Reset per-send bookkeeping.
   active_ = ActiveSend{};
-  pending_.clear();
+  clear_pending_relays();
   active_.message_id = header.message_id;
   active_.conduit_width_m = route->conduit_width_m;
   if (opts.request_ack && opts.ack_to) {

@@ -14,11 +14,13 @@
 //     conduit width until an ack arrives;
 //   - geo-broadcast: `broadcast` floods a disc around a center building,
 //     reaching every postbox in the region (emergency notices, §1);
-//   - same-building rebroadcast suppression: an AP that overhears a copy of
-//     a pending packet from another AP of its own building cancels its own
-//     rebroadcast (NetworkConfig::building_suppression) — the paper's
-//     "currently all the APs within a building rebroadcast ... this overhead
-//     can be reduced".
+//   - rebroadcast suppression: every rebroadcast decision runs through a
+//     pluggable relayx::RebroadcastPolicy (NetworkConfig::relay) — flood
+//     reproduces the paper byte-for-byte, the suppression policies implement
+//     the "currently all the APs within a building rebroadcast ... this
+//     overhead can be reduced" reduction. The legacy
+//     NetworkConfig::building_suppression flag maps onto the
+//     building-backoff policy.
 #pragma once
 
 #include <memory>
@@ -33,6 +35,7 @@
 #include "mesh/ap_network.hpp"
 #include "obsx/metrics.hpp"
 #include "obsx/trace.hpp"
+#include "relayx/policy.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 
@@ -66,13 +69,16 @@ struct NetworkConfig {
   std::size_t max_events_per_send = 20'000'000;
   std::uint64_t seed = 99;  ///< message-id / backoff stream
 
-  /// Same-building overhearing suppression (overhead reduction, §4/§6):
-  /// rebroadcasts wait a random backoff and are cancelled when a copy is
-  /// overheard from an AP of the same building *within
-  /// suppression_radius_m* — close enough that this AP's own transmission
-  /// would cover (nearly) the same area. Without the radius check a badly
-  /// placed sibling can silence the one AP positioned to bridge to the next
-  /// building and kill the flood.
+  /// Rebroadcast-suppression policy (src/relayx). The default (flood) is
+  /// the paper's unconditional conduit rebroadcast, byte-identical to the
+  /// pre-relayx pipeline. relay.seed is overwritten with `seed` at network
+  /// construction so policy draws follow the run's determinism contract.
+  relayx::PolicyConfig relay;
+
+  /// Legacy alias (overhead reduction, §4/§6): true selects the
+  /// building-backoff policy with the two parameters below, unless `relay`
+  /// already names a non-flood policy. Kept so existing configs, the
+  /// --suppression CLI flag, and the suppression tests keep working.
   bool building_suppression = false;
   sim::SimTime suppression_backoff_s = 0.02;
   double suppression_radius_m = 15.0;
@@ -188,6 +194,10 @@ struct FlowState {
   bool delivered = false;
   double delivery_time_s = 0.0;
   std::size_t postboxes_reached = 0;
+  /// Broadcasts of this flow's message actually put on the air (counted by
+  /// the medium's tx observer; deferred-then-aired counts, queue-dropped
+  /// does not).
+  std::size_t transmissions = 0;
 };
 
 /// Result of a geo-broadcast.
@@ -338,6 +348,12 @@ class CityMeshNetwork {
   /// Direct agent access for tests.
   ApAgent& agent(mesh::ApId id) { return agents_.at(id); }
 
+  /// The active rebroadcast policy (src/relayx). Its relayx.* counters are
+  /// bound into metrics() for non-flood policies only — flood manifests must
+  /// serialize exactly the legacy key set (golden digest gate).
+  relayx::RebroadcastPolicy& relay_policy() { return *policy_; }
+  const relayx::RebroadcastPolicy& relay_policy() const { return *policy_; }
+
   static constexpr double kDefaultWidthValues[3] = {50.0, 80.0, 120.0};
   static constexpr std::span<const double> kDefaultWidths{kDefaultWidthValues};
 
@@ -345,6 +361,8 @@ class CityMeshNetwork {
   void handle_delivery(sim::NodeId to, sim::NodeId from,
                        const std::shared_ptr<const MeshPacket>& packet);
   void transmit_counted(mesh::ApId from, const std::shared_ptr<const MeshPacket>& packet);
+  /// Cancel every pending backoff-delayed rebroadcast (per-send reset).
+  void clear_pending_relays();
   void send_ack_from(mesh::ApId ap);
   SendOutcome run_send(BuildingId from_building, const PostboxInfo& to,
                        std::span<const std::uint8_t> payload, const SendOptions& opts,
@@ -360,7 +378,7 @@ class CityMeshNetwork {
   sim::Simulator sim_;
   sim::BroadcastMedium<MeshPacket> medium_;
   std::vector<ApAgent> agents_;
-  geo::Rng message_rng_;
+  std::unique_ptr<relayx::RebroadcastPolicy> policy_;
 
   // Observability (src/obsx): the registry holds the authoritative counters
   // for the whole stack; the trace ring receives the packet-lifecycle
@@ -412,10 +430,15 @@ class CityMeshNetwork {
   };
   ActiveSend active_;
 
-  // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap); the
-  // bool flips when an overheard same-building copy cancels them. Shared by
-  // the single-send path (cleared per send) and injected flows.
-  std::unordered_map<std::uint64_t, std::shared_ptr<bool>> pending_;
+  // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap): the
+  // cancelable simulator event plus the overheard-duplicate tally the policy
+  // judges cancellation by. Shared by the single-send path (cleared per
+  // send) and injected flows.
+  struct PendingRelay {
+    sim::Simulator::EventId event = sim::Simulator::kInvalidEvent;
+    std::uint32_t overheard = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingRelay> pending_;
 
   // Injected-flow bookkeeping (src/trafficx), keyed by message id. The
   // single-send path never touches this map.

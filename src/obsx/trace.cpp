@@ -16,7 +16,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 17> kKindNames{{
+constexpr std::array<KindName, 19> kKindNames{{
     {TraceKind::kOriginate, "originate"},
     {TraceKind::kTx, "tx"},
     {TraceKind::kRx, "rx"},
@@ -34,6 +34,8 @@ constexpr std::array<KindName, 17> kKindNames{{
     {TraceKind::kRegionDegrade, "region-degrade"},
     {TraceKind::kRegionRestore, "region-restore"},
     {TraceKind::kMalformed, "malformed"},
+    {TraceKind::kElected, "elected"},
+    {TraceKind::kSuppressed, "suppressed"},
 }};
 
 }  // namespace
@@ -58,6 +60,8 @@ const char* payload_key(TraceKind kind) {
     case TraceKind::kDupSuppressed:
     case TraceKind::kDropLoss:
     case TraceKind::kDropFaulted:
+    case TraceKind::kSuppressed:  // the overheard transmitter; absent when
+                                  // the policy suppressed at election time
       return "peer";
     case TraceKind::kPostboxStore:
       return "count";

@@ -44,6 +44,8 @@ enum class TraceKind : std::uint8_t {
   kRegionDegrade,  ///< fault action: degraded-link region activated
   kRegionRestore,  ///< fault action: degraded-link region deactivated
   kMalformed,      ///< reception dropped: undecodable or corrupt header
+  kElected,        ///< relay policy armed a delayed rebroadcast (src/relayx)
+  kSuppressed,     ///< armed/considered rebroadcast suppressed before airing
 };
 
 std::string_view to_string(TraceKind kind);

@@ -1,0 +1,258 @@
+#include "relayx/policy.hpp"
+
+#include <array>
+#include <limits>
+#include <string>
+
+#include "geo/point.hpp"
+
+namespace citymesh::relayx {
+
+namespace {
+
+struct KindName {
+  PolicyKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<KindName, 4> kKindNames{{
+    {PolicyKind::kFlood, "flood"},
+    {PolicyKind::kBuildingBackoff, "building-backoff"},
+    {PolicyKind::kCounterGossip, "counter-gossip"},
+    {PolicyKind::kEtxPriority, "etx-priority"},
+}};
+
+/// Deterministic per-AP stream seed: mixes (seed, ap) through splitmix64 so
+/// neighboring AP ids get uncorrelated streams.
+std::uint64_t stream_seed(std::uint64_t seed, mesh::ApId ap) {
+  std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{ap} + 1));
+  return geo::splitmix64(sm);
+}
+
+std::vector<geo::Rng> make_streams(std::uint64_t seed, std::size_t ap_count) {
+  std::vector<geo::Rng> streams;
+  streams.reserve(ap_count);
+  for (std::size_t ap = 0; ap < ap_count; ++ap) {
+    streams.emplace_back(stream_seed(seed, static_cast<mesh::ApId>(ap)));
+  }
+  return streams;
+}
+
+/// Overheard copy from a sibling AP of the same building, close enough that
+/// its transmission covers (nearly) the same area as ours would.
+bool same_building_nearby(const mesh::ApNetwork& aps, const Reception& rx,
+                          double radius_m) {
+  const mesh::AccessPoint& self = aps.ap(rx.ap);
+  const mesh::AccessPoint& peer = aps.ap(rx.from);
+  return peer.building == self.building &&
+         geo::distance(peer.position, self.position) <= radius_m;
+}
+
+// ------------------------------------------------------------------ flood ---
+
+/// The paper's behavior: every elected AP relays immediately. No RNG draws,
+/// no timers, no counters touched — byte-identical manifests to the
+/// pre-relayx pipeline.
+class FloodPolicy final : public RebroadcastPolicy {
+ public:
+  using RebroadcastPolicy::RebroadcastPolicy;
+
+  Decision elect(const Reception&) override { return {Decision::Kind::kRelayNow, 0.0}; }
+  bool cancel_on_overhear(const Reception&, std::uint32_t) override { return false; }
+};
+
+// ------------------------------------------------------- building-backoff ---
+
+/// Random backoff; cancel on an overheard same-building copy within the
+/// suppress radius. Promoted from the former inline
+/// NetworkConfig::building_suppression path — draws come from one shared
+/// stream seeded with the network seed, in election order, reproducing the
+/// legacy draw sequence exactly (bench/ablation_suppression rows are
+/// byte-equivalent).
+class BuildingBackoffPolicy final : public RebroadcastPolicy {
+ public:
+  BuildingBackoffPolicy(const PolicyConfig& config, const mesh::ApNetwork& aps)
+      : RebroadcastPolicy(config), aps_(aps), rng_(config.seed) {}
+
+  Decision elect(const Reception&) override {
+    count_scheduled();
+    return {Decision::Kind::kDelay, rng_.uniform(0.0, config_.backoff_s)};
+  }
+
+  bool cancel_on_overhear(const Reception& rx, std::uint32_t) override {
+    if (!same_building_nearby(aps_, rx, config_.suppress_radius_m)) return false;
+    count_cancelled();
+    return true;
+  }
+
+ private:
+  const mesh::ApNetwork& aps_;
+  geo::Rng rng_;  ///< shared backoff stream (legacy message_rng_ order)
+};
+
+// --------------------------------------------------------- counter-gossip ---
+
+/// Classic counter-based gossip: relay with probability gossip_p; while the
+/// backoff runs, cancel after cancel_copies overheard duplicates from
+/// *anywhere* (the neighborhood is already saturated). Building-blind — it
+/// needs no placement ground truth at all.
+class CounterGossipPolicy final : public RebroadcastPolicy {
+ public:
+  CounterGossipPolicy(const PolicyConfig& config, const mesh::ApNetwork& aps)
+      : RebroadcastPolicy(config),
+        streams_(make_streams(config.seed, aps.ap_count())) {}
+
+  Decision elect(const Reception& rx) override {
+    geo::Rng& rng = streams_[rx.ap];
+    if (config_.gossip_p < 1.0 && !rng.chance(config_.gossip_p)) {
+      count_cancelled();
+      return {Decision::Kind::kSuppress, 0.0};
+    }
+    count_scheduled();
+    return {Decision::Kind::kDelay, rng.uniform(0.0, config_.backoff_s)};
+  }
+
+  bool cancel_on_overhear(const Reception&, std::uint32_t overheard) override {
+    if (overheard < config_.cancel_copies) return false;
+    count_cancelled();
+    return true;
+  }
+
+ private:
+  std::vector<geo::Rng> streams_;  ///< one stream per AP
+};
+
+// ----------------------------------------------------------- etx-priority ---
+
+/// SignalRouting-style role priority from accumulated link quality. Every
+/// reception bumps a per-directed-link counter (CSR-aligned with the AP
+/// graph, so the update is a bounded neighbor scan); an AP's relay score is
+/// the saturating sum of its links' delivery estimates c/(c+1) — many
+/// well-heard links mark a hub that bridges coverage. High-score APs draw
+/// shorter backoffs and tend to fire first; of the rest, only other
+/// well-heard APs cancel on the overheard copies (same-building rule or
+/// cancel_copies duplicates) while poorly-heard periphery always fires.
+/// Before any traffic has been observed every score is zero and the policy
+/// degrades to a plain random backoff — estimates sharpen as the run
+/// progresses.
+class EtxPriorityPolicy final : public RebroadcastPolicy {
+ public:
+  EtxPriorityPolicy(const PolicyConfig& config, const mesh::ApNetwork& aps)
+      : RebroadcastPolicy(config),
+        aps_(aps),
+        streams_(make_streams(config.seed, aps.ap_count())) {
+    const graphx::Graph& graph = aps.graph();
+    edge_base_.reserve(graph.vertex_count() + 1);
+    edge_base_.push_back(0);
+    for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+      edge_base_.push_back(edge_base_.back() + graph.degree(static_cast<mesh::ApId>(v)));
+    }
+    rx_counts_.assign(edge_base_.back(), 0);
+  }
+
+  void observe(const Reception& rx) override {
+    const auto links = aps_.graph().neighbors(rx.ap);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (links[i].to != rx.from) continue;
+      std::uint32_t& count = rx_counts_[edge_base_[rx.ap] + i];
+      if (count != std::numeric_limits<std::uint32_t>::max()) ++count;
+      count_etx_update();
+      return;
+    }
+  }
+
+  Decision elect(const Reception& rx) override {
+    count_scheduled();
+    const double quality = score(rx.ap) / (score(rx.ap) + config_.etx_pivot);
+    // Priority shapes a quarter of the window, jitter the rest: enough skew
+    // that hubs fire earlier on average, enough randomness that a
+    // peripheral bridge AP is not deterministically last (it would soak up
+    // overheard copies until cancelled and the flood would never leave its
+    // cluster — heavier skews measurably cost deliverability in fig11).
+    const double unit = (1.0 - quality) * 0.25 + streams_[rx.ap].uniform() * 0.75;
+    return {Decision::Kind::kDelay, config_.backoff_s * unit};
+  }
+
+  bool cancel_on_overhear(const Reception& rx, std::uint32_t overheard) override {
+    // Only *well-heard* APs cancel at all. The priority backoff makes
+    // low-quality APs wait longer on average, so a copy count that silences
+    // them too strands the flood exactly at the cluster exits they guard —
+    // they always fire (possibly redundantly; that residue is the price of
+    // keeping the frontier alive).
+    const double quality = score(rx.ap) / (score(rx.ap) + config_.etx_pivot);
+    if (quality < 0.5) return false;
+    if (overheard < config_.cancel_copies &&
+        !same_building_nearby(aps_, rx, config_.suppress_radius_m)) {
+      return false;
+    }
+    count_cancelled();
+    return true;
+  }
+
+ private:
+  /// Saturating link-quality mass of one AP: sum of c/(c+1) over its links.
+  double score(mesh::ApId ap) const {
+    double total = 0.0;
+    for (std::size_t i = edge_base_[ap]; i < edge_base_[ap + 1]; ++i) {
+      const double c = static_cast<double>(rx_counts_[i]);
+      total += c / (c + 1.0);
+    }
+    return total;
+  }
+
+  const mesh::ApNetwork& aps_;
+  std::vector<geo::Rng> streams_;
+  std::vector<std::size_t> edge_base_;     ///< CSR offsets into rx_counts_
+  std::vector<std::uint32_t> rx_counts_;   ///< per directed link (ap <- from)
+};
+
+}  // namespace
+
+std::string_view to_string(PolicyKind kind) {
+  for (const auto& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "unknown";
+}
+
+std::optional<PolicyKind> policy_kind_from(std::string_view name) {
+  for (const auto& kn : kKindNames) {
+    if (kn.name == name) return kn.kind;
+  }
+  return std::nullopt;
+}
+
+RebroadcastPolicy::RebroadcastPolicy(const PolicyConfig& config) : config_(config) {
+  scheduled_ = &own_.counter("scheduled");
+  cancelled_ = &own_.counter("cancelled");
+  fired_ = &own_.counter("fired");
+  etx_updates_ = &own_.counter("etx_updates");
+}
+
+RebroadcastPolicy::~RebroadcastPolicy() = default;
+
+void RebroadcastPolicy::bind_metrics(obsx::MetricsRegistry& registry,
+                                     std::string_view prefix) {
+  const std::string p{prefix};
+  scheduled_ = &registry.counter(p + ".scheduled");
+  cancelled_ = &registry.counter(p + ".cancelled");
+  fired_ = &registry.counter(p + ".fired");
+  etx_updates_ = &registry.counter(p + ".etx_updates");
+}
+
+std::unique_ptr<RebroadcastPolicy> make_policy(const PolicyConfig& config,
+                                               const mesh::ApNetwork& aps) {
+  switch (config.kind) {
+    case PolicyKind::kBuildingBackoff:
+      return std::make_unique<BuildingBackoffPolicy>(config, aps);
+    case PolicyKind::kCounterGossip:
+      return std::make_unique<CounterGossipPolicy>(config, aps);
+    case PolicyKind::kEtxPriority:
+      return std::make_unique<EtxPriorityPolicy>(config, aps);
+    case PolicyKind::kFlood:
+      break;
+  }
+  return std::make_unique<FloodPolicy>(config);
+}
+
+}  // namespace citymesh::relayx

@@ -106,6 +106,9 @@ class BroadcastMedium {
   /// Wire size of a packet in bits (header + payload); feeds the
   /// serialization delay when the contention model is on.
   using PacketBitsFn = std::function<std::size_t(const Packet&)>;
+  /// Observer invoked once per packet actually put on the air (after any
+  /// deferral; dropped packets never fire it).
+  using TxObserverFn = std::function<void(NodeId from, const Packet&)>;
 
   BroadcastMedium(Simulator& simulator, const graphx::Graph& topology, MediumConfig config)
       : sim_(simulator),
@@ -136,6 +139,11 @@ class BroadcastMedium {
   /// Install the packet-bits hook the contention model charges airtime by.
   /// Without it only frame_overhead_bits are charged per packet.
   void set_packet_bits(PacketBitsFn fn) { packet_bits_ = std::move(fn); }
+
+  /// Install a per-transmission observer (per-flow transmission attribution,
+  /// src/trafficx). Fires at the same instant as the medium's kTx trace
+  /// event. Pass nullptr to clear.
+  void set_tx_observer(TxObserverFn fn) { tx_observer_ = std::move(fn); }
 
   /// Repoint the medium's counters into `registry` under `<prefix>.*` so
   /// consumers read the medium's own tally instead of keeping a parallel
@@ -256,6 +264,7 @@ class BroadcastMedium {
     const SimTime air = serialization_delay(*packet);
     transmissions_->inc();
     trace(obsx::TraceKind::kTx, from, pid);
+    if (tx_observer_) tx_observer_(from, *packet);
     if (contention_enabled()) {
       TxState& tx = tx_state_[from];
       tx.busy_until = sim_.now() + air;
@@ -332,6 +341,7 @@ class BroadcastMedium {
   NodeUpFn node_up_;
   LinkLossFn link_loss_;
   PacketBitsFn packet_bits_;
+  TxObserverFn tx_observer_;
   std::vector<TxState> tx_state_;  ///< empty when contention is off
   obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()
   obsx::Counter* transmissions_;

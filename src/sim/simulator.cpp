@@ -8,6 +8,19 @@ void Simulator::schedule_at(SimTime t, Handler fn) {
   queue_.push({t, next_seq_++, std::move(fn)});
 }
 
+Simulator::EventId Simulator::schedule_cancelable_at(SimTime t, Handler fn) {
+  const EventId id = next_seq_;
+  schedule_at(t, std::move(fn));
+  cancelable_.insert(id);
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (cancelable_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
 std::size_t Simulator::run(SimTime until, std::size_t max_events) {
   std::size_t count = 0;
   while (!queue_.empty() && count < max_events) {
@@ -17,6 +30,14 @@ std::size_t Simulator::run(SimTime until, std::size_t max_events) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    // A cancelled event advances time and counts like a no-op handler would
+    // have — cancellation changes *what* runs, never the event timeline.
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) {
+      ++count;
+      ++processed_;
+      continue;
+    }
+    if (!cancelable_.empty()) cancelable_.erase(ev.seq);
     ev.fn();
     ++count;
     ++processed_;

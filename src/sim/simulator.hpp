@@ -11,6 +11,7 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "obsx/metrics.hpp"
@@ -25,6 +26,9 @@ constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
 class Simulator {
  public:
   using Handler = std::function<void()>;
+  /// Token identifying one cancelable scheduled event (its sequence number).
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = std::numeric_limits<EventId>::max();
 
   SimTime now() const { return now_; }
 
@@ -33,6 +37,23 @@ class Simulator {
 
   /// Schedule `fn` after `delay` seconds (must be >= 0).
   void schedule_in(SimTime delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Like schedule_at, but returns a token that cancel() accepts. A
+  /// cancelled event still occupies its heap slot and advances now() when
+  /// popped — identical timing to a handler that no-ops — but its handler is
+  /// dropped (backoff timers, src/relayx).
+  EventId schedule_cancelable_at(SimTime t, Handler fn);
+  EventId schedule_cancelable_in(SimTime delay, Handler fn) {
+    return schedule_cancelable_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending cancelable event. Returns false when the token was
+  /// already cancelled, already ran, or never cancelable. O(1) amortized —
+  /// the heap is not touched; the event is skipped when it surfaces.
+  bool cancel(EventId id);
+
+  /// Cancelable events scheduled and not yet run or cancelled.
+  std::size_t cancelable_pending() const { return cancelable_.size(); }
 
   /// Run until the queue drains, `until` is reached, or `max_events` have
   /// been processed. Returns the number of events processed by this call.
@@ -68,6 +89,10 @@ class Simulator {
   std::size_t processed_ = 0;
   obsx::Histogram* latency_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Cancelable-event bookkeeping; both empty unless schedule_cancelable_*
+  // is used, so the run loop pays only an empty() branch per event.
+  std::unordered_set<EventId> cancelable_;  ///< scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;   ///< cancelled, not yet popped
 };
 
 }  // namespace citymesh::sim

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "cryptox/identity.hpp"
+#include "graphx/shortest_path.hpp"
 
 namespace citymesh::trafficx {
 
@@ -61,12 +62,39 @@ WorkloadResult run_workload(core::CityMeshNetwork& network,
   }
   sim.run(t0 + schedule.spec.duration_s + config.tail_s, config.max_events);
 
+  // Overhead denominator: ideal unicast hops from the flow's source AP to
+  // the closest AP of the destination building, over the *static* AP graph
+  // (the same baseline the single-send path uses). BFS results are memoized
+  // per source AP — hotspot workloads reuse a handful of sources.
+  std::unordered_map<mesh::ApId, graphx::ShortestPaths> hops_from;
+  const auto min_hops = [&](osmx::BuildingId src,
+                            osmx::BuildingId dst) -> std::size_t {
+    const auto src_ap = network.aps().representative_ap(network.city(), src);
+    if (!src_ap) return 0;
+    auto it = hops_from.find(*src_ap);
+    if (it == hops_from.end()) {
+      it = hops_from.emplace(*src_ap, graphx::bfs(network.aps().graph(), *src_ap)).first;
+    }
+    double best = graphx::kInfiniteDistance;
+    for (const mesh::ApId ap : network.aps().aps_of_building(dst)) {
+      best = std::min(best, it->second.distance[ap]);
+    }
+    if (best >= graphx::kInfiniteDistance || best <= 0.0) return 0;
+    return static_cast<std::size_t>(best);
+  };
+
   for (std::size_t i = 0; i < schedule.flows.size(); ++i) {
     if (message_ids[i] == 0) continue;
     const core::FlowState* state = network.flow_state(message_ids[i]);
-    if (state == nullptr || !state->delivered) continue;
+    if (state == nullptr) continue;
+    result.flows[i].transmissions = state->transmissions;
+    if (!state->delivered) continue;
     result.flows[i].delivered = true;
     result.flows[i].latency_s = state->delivery_time_s - state->injected_at_s;
+    if (config.measure_overhead) {
+      result.flows[i].min_hops =
+          min_hops(schedule.flows[i].src, schedule.flows[i].dst);
+    }
   }
   network.clear_flow_states();
 

@@ -96,22 +96,42 @@ cmp -s "${repo_root}/tools/golden/fig6_smoke.json" "${smoke_dir}/golden.json" ||
   exit 1; }
 echo "check.sh: golden digest-identity gate OK"
 
+# --- relayx smoke: the fig11 overhead/deliverability frontier must run its
+# quick grid and produce the same determinism digest across two same-seed
+# runs (the digest folds every policy row, so any nondeterminism in the
+# suppression timers or per-AP RNG streams shows up here; the full-file
+# bytes legitimately differ in wall_clock_s, unlike the CLI manifests).
+"${build_dir}/bench/fig11_frontier" --quick --json "${smoke_dir}/fig11a.json" \
+  >/dev/null || { echo "check.sh: fig11_frontier --quick failed" >&2; exit 1; }
+"${build_dir}/bench/fig11_frontier" --quick --json "${smoke_dir}/fig11b.json" \
+  >/dev/null
+fig11_digest() { grep -o '"digest": "[0-9a-f]*"' "$1"; }
+[ -n "$(fig11_digest "${smoke_dir}/fig11a.json")" ] || {
+  echo "check.sh: fig11 manifest missing digest" >&2; exit 1; }
+[ "$(fig11_digest "${smoke_dir}/fig11a.json")" = \
+  "$(fig11_digest "${smoke_dir}/fig11b.json")" ] || {
+  echo "check.sh: fig11_frontier digests differ across same-seed runs" >&2
+  exit 1; }
+echo "check.sh: relayx smoke (fig11 quick-grid digest deterministic) OK"
+
 # --- The obsx buffer/JSONL code is pointer-heavy, the trafficx runner
 # threads raw pointers through scheduled closures, the medium fans shared
 # immutable packets through queues and backoff closures, and the compiled-
-# message layer shares read-only CompiledMessages across receptions; run all
-# four suites under ASan+UBSan in a separate tree (skipped if that tree's
+# message layer shares read-only CompiledMessages across receptions, and the
+# relayx policies keep per-AP state the backoff closures point into; run all
+# five suites under ASan+UBSan in a separate tree (skipped if that tree's
 # configure fails, e.g. no sanitizer runtime on minimal images).
 san_dir="${build_dir}-asan"
 if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; then
   cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_obsx --target test_trafficx --target test_sim \
-    --target test_compiled
+    --target test_compiled --target test_relayx
   "${san_dir}/tests/test_obsx"
   "${san_dir}/tests/test_trafficx"
   "${san_dir}/tests/test_sim"
   "${san_dir}/tests/test_compiled"
-  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled clean under ASan+UBSan"
+  "${san_dir}/tests/test_relayx"
+  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
 fi
@@ -123,11 +143,13 @@ fi
 tsan_dir="${build_dir}-tsan"
 if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/null; then
   cmake --build "${tsan_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_runx --target test_sim --target test_compiled
+    --target test_runx --target test_sim --target test_compiled \
+    --target test_relayx
   "${tsan_dir}/tests/test_runx"
   "${tsan_dir}/tests/test_sim"
   "${tsan_dir}/tests/test_compiled"
-  echo "check.sh: test_runx + test_sim + test_compiled clean under TSan"
+  "${tsan_dir}/tests/test_relayx"
+  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx clean under TSan"
 else
   echo "check.sh: TSan configure failed; skipping thread-sanitizer pass" >&2
 fi

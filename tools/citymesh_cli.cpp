@@ -20,6 +20,8 @@
 //   --deliver N           deliverability pairs      (default 50)
 //   --seed N              placement seed            (default 1)
 //   --suppression         enable same-building rebroadcast suppression
+//   --policy NAME         rebroadcast policy: flood (default),
+//                         building-backoff, counter-gossip, etx-priority
 //   --shadowed            use the shadowed link model instead of the disc
 //   --osm FILE            load an OSM XML extract instead of a profile
 //
@@ -77,6 +79,7 @@
 #include "obsx/manifest.hpp"
 #include "osmx/citygen.hpp"
 #include "osmx/osm_xml.hpp"
+#include "relayx/policy.hpp"
 #include "runx/city_cache.hpp"
 #include "runx/sweep.hpp"
 #include "trafficx/runner.hpp"
@@ -97,6 +100,7 @@ struct Options {
   std::size_t deliver = 50;
   std::uint64_t seed = 1;
   bool suppression = false;
+  std::string policy;  // relayx policy name; empty = flood (paper default)
   bool shadowed = false;
   std::string osm_file;
   std::string spec_file;
@@ -127,7 +131,7 @@ int usage() {
       "  sweep <spec-file>          run an experiment sweep grid (runx)\n"
       "  trace <file.jsonl>         validate / summarize / filter a trace\n"
       "options: --range M --density M2 --width M --pairs N --deliver N\n"
-      "         --seed N --suppression --shadowed --osm FILE\n"
+      "         --seed N --suppression --policy NAME --shadowed --osm FILE\n"
       "         --spec FILE --svg FILE (scenario)\n"
       "         --spec FILE --scenario FILE --bitrate BPS --queue N\n"
       "         --json FILE (load)\n"
@@ -181,6 +185,14 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       opts.positional.push_back("bridge");
     } else if (arg == "--suppression") {
       opts.suppression = true;
+    } else if (arg == "--policy") {
+      const auto v = next();
+      if (!v || !relayx::policy_kind_from(*v)) {
+        std::cerr << "--policy must be one of flood, building-backoff, "
+                     "counter-gossip, etx-priority\n";
+        return std::nullopt;
+      }
+      opts.policy = *v;
     } else if (arg == "--shadowed") {
       opts.shadowed = true;
     } else if (arg == "--osm") {
@@ -271,6 +283,9 @@ core::NetworkConfig network_config(const Options& opts) {
   cfg.graph.transmission_range_m = opts.range_m;
   cfg.conduit.width_m = opts.width_m;
   cfg.building_suppression = opts.suppression;
+  if (!opts.policy.empty()) {
+    cfg.relay.kind = *relayx::policy_kind_from(opts.policy);
+  }
   return cfg;
 }
 
