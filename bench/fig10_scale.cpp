@@ -1,0 +1,191 @@
+// Figure 10 (extension): scaling one metro-scale run with tiled parallel
+// simulation (src/shardx).
+//
+// The paper simulates each city sequentially; a metro-scale fabric (tens of
+// thousands of APs under offered load) makes one run the bottleneck rather
+// than the sweep grid. This bench runs the same airtime-contention workload
+// on a ladder of growing synthetic cities with the engine partitioned into
+// K = 1/2/4/8 building-atomic tiles under conservative lookahead, and
+// reports wall clock, speedup over the sequential engine, and the number of
+// cross-tile handoffs exchanged at window barriers.
+//
+// Correctness is part of the bench: the workload runs in the draw-free
+// regime (no jitter, no loss, flood relay), where every shard count must
+// produce identical behavior. Each row's behavioral cells (offered flows,
+// delivery rate, transmissions, p50 latency) fold into a per-shard-count
+// digest, and the bench *fails* (exit 1) if any K disagrees with K=1 on the
+// same city. Wall clock and speedup columns stay out of the digest — they
+// are the only cells allowed to vary between machines and shard counts.
+//
+// Expected shape: >=2x speedup at 4 shards on >=4 hardware threads for the
+// larger rungs; on fewer cores the speedup column flattens toward 1x while
+// the digest check still bites. `--quick` shrinks the ladder for smoke/CI.
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/network.hpp"
+#include "osmx/citygen.hpp"
+#include "runx/city_cache.hpp"
+#include "trafficx/runner.hpp"
+#include "trafficx/workload.hpp"
+#include "viz/ascii.hpp"
+
+namespace core = citymesh::core;
+namespace osmx = citymesh::osmx;
+namespace runx = citymesh::runx;
+namespace trafficx = citymesh::trafficx;
+namespace viz = citymesh::viz;
+
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+constexpr std::uint64_t kWorkloadSeed = 1010;
+constexpr double kBitrateBps = 250e3;
+constexpr double kRatePerS = 4.0;
+constexpr double kDurationS = 12.0;
+constexpr double kQuickDurationS = 4.0;
+
+struct Rung {
+  const char* name;
+  double width_m;
+  double height_m;
+};
+constexpr Rung kLadder[] = {
+    {"metro-s", 900, 700}, {"metro-m", 1500, 1100}, {"metro-l", 2200, 1600}};
+constexpr Rung kQuickLadder[] = {{"metro-s", 900, 700}};
+
+osmx::CityProfile rung_profile(const Rung& rung) {
+  osmx::CityProfile p;
+  p.name = rung.name;
+  p.width_m = rung.width_m;
+  p.height_m = rung.height_m;
+  p.seed = 101;
+  return p;
+}
+
+// Draw-free regime: serialization timing is deterministic (finite bitrate,
+// zero jitter), nothing is lost, and the flood policy draws no randomness —
+// so the tiled engine must reproduce the sequential engine event for event.
+core::NetworkConfig network_config(std::size_t shards) {
+  core::NetworkConfig config;
+  config.placement.seed = 7;
+  config.placement.density_per_m2 = 1.0 / 60.0;
+  config.seed = 99;
+  config.shards = shards;
+  config.medium.bitrate_bps = kBitrateBps;
+  config.medium.jitter_s = 0.0;
+  config.medium.loss_probability = 0.0;
+  return config;
+}
+
+trafficx::WorkloadSpec workload_spec(double duration_s) {
+  trafficx::WorkloadSpec spec;
+  spec.name = "fig10";
+  spec.seed = kWorkloadSeed;
+  spec.duration_s = duration_s;
+  spec.rate_per_s = kRatePerS;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  citymesh::benchutil::ManifestEmitter emit{"fig10_scale", argc, argv};
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const double duration_s = quick ? kQuickDurationS : kDurationS;
+  const std::span<const Rung> ladder =
+      quick ? std::span<const Rung>{kQuickLadder} : std::span<const Rung>{kLadder};
+
+  std::cout << "CityMesh extension - Figure 10 (tiled parallel scaling)\n"
+            << "one workload per (city size, shard count); draw-free regime so\n"
+            << "every shard count must reproduce the sequential engine ("
+            << std::thread::hardware_concurrency() << " hardware thread(s)"
+            << (quick ? ", --quick ladder" : "") << ")\n";
+
+  emit.manifest().city = "ladder";
+  emit.manifest().seeds["workload"] = kWorkloadSeed;
+  emit.manifest().set_param("duration_s", duration_s);
+  emit.manifest().set_param("bitrate_bps", kBitrateBps);
+  emit.manifest().set_param("quick", quick ? std::uint64_t{1} : std::uint64_t{0});
+
+  runx::CityCache cache;
+  std::vector<std::vector<std::string>> rows;
+  bool digest_ok = true;
+  for (const Rung& rung : ladder) {
+    const osmx::CityProfile profile = rung_profile(rung);
+    emit.manifest().seeds[profile.name] = profile.seed;
+    // The compiled city is shard-count independent; all K share one compile.
+    const auto compiled = cache.get(profile, network_config(1));
+    const auto schedule =
+        trafficx::compile(workload_spec(duration_s), compiled->city);
+
+    std::string baseline_digest;
+    double baseline_wall_s = 0.0;
+    for (const std::size_t shards : kShardCounts) {
+      const core::NetworkConfig config = network_config(shards);
+      core::CityMeshNetwork network{compiled, config};
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto run = trafficx::run_workload(network, schedule);
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const core::CapacitySummary& s = run.summary;
+
+      // Behavioral cells only — identical across shard counts by contract.
+      const std::vector<std::string> behavior = {
+          profile.name,
+          std::to_string(compiled->aps.ap_count()),
+          std::to_string(s.flows_offered),
+          viz::fmt(s.delivery_rate(), 3),
+          std::to_string(s.transmissions),
+          viz::fmt(s.latency_p50_s * 1e3, 2)};
+      citymesh::obsx::Fnv1a row_digest;
+      for (const auto& cell : behavior) row_digest.update(cell);
+      const std::string hex = citymesh::obsx::hex64(row_digest.digest());
+      if (shards == kShardCounts[0]) {
+        baseline_digest = hex;
+        baseline_wall_s = wall_s;
+      } else if (hex != baseline_digest) {
+        digest_ok = false;
+        std::cerr << "fig10_scale: " << profile.name << " shards=" << shards
+                  << " behavior digest " << hex << " != shards="
+                  << kShardCounts[0] << " digest " << baseline_digest << '\n';
+      }
+      for (const auto& cell : behavior) emit.row(cell);
+      emit.add_metrics(run.metrics);
+
+      std::vector<std::string> row = behavior;
+      row.insert(row.begin() + 2, std::to_string(shards));
+      row.push_back(std::to_string(network.handoffs_exchanged()));
+      row.push_back(viz::fmt(wall_s, 3));
+      row.push_back(wall_s > 0.0 ? viz::fmt(baseline_wall_s / wall_s, 2) + "x"
+                                 : "-");
+      rows.push_back(std::move(row));
+    }
+  }
+
+  viz::print_table(std::cout, "Figure 10: tiled parallel scaling (shardx)",
+                   {"city", "aps", "shards", "offered", "deliver", "tx",
+                    "p50 ms", "handoffs", "wall s", "speedup"},
+                   rows);
+
+  std::cout << "\nDeterminism digest: " << emit.digest_hex()
+            << "  (behavioral cells only; identical for every shard count)\n"
+            << (digest_ok
+                    ? "Shard-count invariance: OK (every K matched K=1)\n"
+                    : "Shard-count invariance: FAILED (see stderr)\n")
+            << "Expected shape: speedup grows with city size and shard count up\n"
+            << "to the hardware thread count; handoffs grow with the cut size\n"
+            << "while the behavioral columns never move.\n";
+  return emit.finish(digest_ok ? 0 : 1);
+}

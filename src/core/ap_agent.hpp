@@ -92,6 +92,11 @@ class ApAgent {
   void set_behavior(AgentBehavior b) { behavior_ = b; }
   AgentBehavior behavior() const { return behavior_; }
 
+  /// Repoint the compile service (tiled runs, src/shardx: each tile's agents
+  /// share that tile's compiler so reception-time memo lookups and counter
+  /// increments never cross threads). nullptr reverts to a lazy private one.
+  void set_compiler(MessageCompiler* compiler) { compiler_ = compiler; }
+
   /// Host a postbox at this AP. The agent matches incoming packets against
   /// hosted postbox tags.
   void host_postbox(std::shared_ptr<Postbox> postbox);

@@ -72,7 +72,7 @@ CityEvaluation evaluate_with_network(CityMeshNetwork& network,
       if (const auto oh = outcome.overhead()) eval.overheads.push_back(*oh);
     }
   }
-  eval.metrics = network.metrics().snapshot();
+  eval.metrics = network.merged_metrics();
   eval.compile_metrics = network.compiler().snapshot();
   return eval;
 }
@@ -92,7 +92,7 @@ CityEvaluation evaluate_city(std::shared_ptr<const CompiledCity> compiled,
 
 NetworkSnapshot evaluate_snapshot(CityMeshNetwork& network, const SnapshotConfig& config) {
   NetworkSnapshot snap;
-  snap.at_s = network.simulator().now();
+  snap.at_s = network.sim_now();
   snap.aps_total = network.aps().ap_count();
   snap.aps_up = network.aps_up();
 

@@ -36,6 +36,7 @@
 #include "obsx/metrics.hpp"
 #include "obsx/trace.hpp"
 #include "relayx/policy.hpp"
+#include "shardx/engine.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 
@@ -86,6 +87,17 @@ struct NetworkConfig {
   /// Capacity of the network's trace ring (events). 0 = auto-size from the
   /// AP count. The ring keeps the latest window when a run outgrows it.
   std::size_t trace_capacity = 0;
+
+  /// Tile shards for intra-run parallelism (src/shardx). 1 (default) is the
+  /// legacy single event loop, byte-identical to the pre-shardx pipeline.
+  /// K >= 2 partitions the city into K building-atomic tiles, each with its
+  /// own simulator/medium/policy, synchronized by conservative-lookahead
+  /// windows; merged run manifests are invariant across K >= 2 (hashed link
+  /// randomness, per-AP policy streams), and match K = 1 exactly in the
+  /// draw-free regime (flood policy, loss_probability = 0, jitter_s = 0).
+  /// Live faultx Engine::install is unsupported with shards > 1 (it drives
+  /// the legacy simulator); ScenarioEngine::apply_all between runs is fine.
+  std::size_t shards = 1;
 };
 
 /// The immutable "compiled" form of one city: the generated footprints plus
@@ -231,8 +243,74 @@ class CityMeshNetwork {
   /// The shared compiled city backing this network.
   const std::shared_ptr<const CompiledCity>& compiled() const { return compiled_; }
   const RoutePlanner& planner() const { return planner_; }
+  /// The legacy single event loop. With shards > 1 this simulator is idle
+  /// (tiles own their sims); drive tiled runs via schedule_control/run_until.
   sim::Simulator& simulator() { return sim_; }
   const NetworkConfig& config() const { return config_; }
+
+  // --- Shard-agnostic run driving (src/shardx) ---------------------------
+  // These are the only ways trafficx/faultx-style drivers should advance
+  // simulated time: with shards == 1 they forward to the legacy simulator
+  // verbatim; with shards > 1 they run the tiled window engine.
+
+  /// Number of tile shards (1 = legacy single event loop).
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Current simulated time (tiled runs: the synchronized window frontier).
+  sim::SimTime sim_now() const;
+  /// Run the event loop(s) until `until` (inclusive) or `max_events` events.
+  /// Returns the number of events executed. Tiled runs merge per-shard
+  /// delivery deltas into the network-level outcome state before returning.
+  std::size_t run_until(sim::SimTime until,
+                        std::size_t max_events = std::numeric_limits<std::size_t>::max());
+  /// Schedule a coordinator-level event (workload injection, fault action).
+  /// Legacy: plain Simulator::schedule_at. Tiled: runs between windows at
+  /// exactly `at`, when no worker is active — the handler may safely touch
+  /// any network state (inject flows, flip AP status, read flow states).
+  void schedule_control(sim::SimTime at, std::function<void()> fn);
+  /// Metrics merged across the network registry and every shard registry in
+  /// tile order (shards == 1: exactly metrics().snapshot()).
+  obsx::MetricsSnapshot merged_metrics() const;
+  /// Trace events merged across shards, sorted by (time, tile) with each
+  /// shard's internal order preserved (shards == 1: the network trace).
+  std::vector<obsx::TraceEvent> merged_trace_events() const;
+  /// Enable/disable tracing on whichever trace buffers are in effect.
+  void set_tracing(bool on);
+  bool tracing_enabled() const;
+
+  /// Medium counters summed across shards (legacy: the single medium's).
+  struct MediumTotals {
+    std::size_t transmissions = 0;
+    std::size_t deliveries = 0;
+    std::size_t deferrals = 0;
+    std::size_t queue_drops = 0;
+    double airtime_s = 0.0;
+  };
+  MediumTotals medium_totals() const;
+
+  /// The tile plan driving a sharded network; nullptr when shards == 1.
+  const shardx::TilePlan* tile_plan() const {
+    return config_.shards > 1 ? &plan_ : nullptr;
+  }
+  /// Conservative lookahead window width (tiled runs only; kForever when
+  /// the tiles are radio-isolated or shards == 1).
+  double lookahead_s() const { return lookahead_s_; }
+
+  /// One cross-tile reception exchanged at a window barrier, in the
+  /// deterministic ingestion order (time, src_tile, seq).
+  struct HandoffRecord {
+    double time_s = 0.0;
+    shardx::TileId src_tile = 0;
+    std::uint64_t seq = 0;
+    mesh::ApId to = 0;
+    mesh::ApId from = 0;
+    std::uint32_t message_id = 0;
+  };
+  /// Record every exchanged handoff into handoff_log() (tests; off by
+  /// default — the log grows unboundedly).
+  void record_handoffs(bool on) { record_handoffs_ = on; }
+  const std::vector<HandoffRecord>& handoff_log() const { return handoff_log_; }
+  /// Total cross-tile receptions exchanged at barriers so far.
+  std::uint64_t handoffs_exchanged() const { return handoffs_exchanged_; }
 
   /// Register Bob's postbox: every AP in his building hosts the (shared)
   /// postbox so any of them can cache arriving messages. Returns the shared
@@ -358,15 +436,114 @@ class CityMeshNetwork {
   static constexpr std::span<const double> kDefaultWidths{kDefaultWidthValues};
 
  private:
-  void handle_delivery(sim::NodeId to, sim::NodeId from,
+  // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap): the
+  // cancelable simulator event plus the overheard-duplicate tally the policy
+  // judges cancellation by. Shared by the single-send path (cleared per
+  // send) and injected flows. Lives per shard — an AP's timers always run on
+  // its own tile's simulator.
+  struct PendingRelay {
+    sim::Simulator::EventId event = sim::Simulator::kInvalidEvent;
+    std::uint32_t overheard = 0;
+  };
+
+  /// Shard-local slice of the in-flight send's outcome, merged (and
+  /// consumed) by merge_shard_deltas() after every tiled run. The legacy
+  /// shard never uses it — it writes the network-level state directly.
+  struct ActiveDelta {
+    bool delivered = false;
+    double delivery_time_s = 0.0;
+    std::size_t postboxes_reached = 0;
+    bool ack_sent = false;
+    bool ack_delivered = false;
+  };
+  /// Shard-local slice of one injected flow's bookkeeping (src/trafficx).
+  struct FlowDelta {
+    bool delivered = false;
+    double delivery_time_s = 0.0;
+    std::size_t postboxes_reached = 0;
+    std::size_t transmissions = 0;
+  };
+
+  /// One execution shard: the event loop plus every piece of mutable
+  /// simulation state a window touches, so a worker thread running the
+  /// shard shares nothing writable with the others. With shards == 1 the
+  /// single Shard merely aliases the network's legacy singletons (own_*
+  /// stay null) and `direct` routes outcome writes straight to the
+  /// network-level state — the pre-shardx code path, byte for byte.
+  struct Shard {
+    shardx::TileId tile = 0;
+    bool direct = true;  ///< legacy aliasing shard?
+
+    // Owning storage (tiled shards only).
+    std::unique_ptr<sim::Simulator> own_sim;
+    std::unique_ptr<graphx::Graph> own_topology;
+    std::unique_ptr<sim::BroadcastMedium<MeshPacket>> own_medium;
+    std::unique_ptr<obsx::MetricsRegistry> own_metrics;
+    std::unique_ptr<obsx::TraceBuffer> own_trace;
+    std::unique_ptr<relayx::RebroadcastPolicy> own_policy;
+    std::unique_ptr<MessageCompiler> own_compiler;
+
+    // The instances in effect (owned above, or the network singletons).
+    sim::Simulator* sim = nullptr;
+    sim::BroadcastMedium<MeshPacket>* medium = nullptr;
+    obsx::MetricsRegistry* metrics = nullptr;
+    obsx::TraceBuffer* trace = nullptr;
+    relayx::RebroadcastPolicy* policy = nullptr;
+    MessageCompiler* compiler = nullptr;
+
+    // Cached counter handles. Tiled shards register the same names as the
+    // network registry, so merged snapshots sum into the legacy key set.
+    obsx::Counter* n_rebroadcasts = nullptr;
+    obsx::Counter* n_dup_suppressed = nullptr;
+    obsx::Counter* n_conduit_rejects = nullptr;
+    obsx::Counter* n_postbox_stores = nullptr;
+    obsx::Counter* n_acks_sent = nullptr;
+    obsx::Counter* n_suppression_cancelled = nullptr;
+    obsx::Counter* medium_deliveries = nullptr;
+    obsx::Counter* medium_blocked_receptions = nullptr;
+    obsx::Counter* medium_losses = nullptr;
+    obsx::Histogram* h_latency = nullptr;
+
+    std::unordered_map<std::uint64_t, PendingRelay> pending;
+    ActiveDelta active;
+    std::unordered_map<std::uint32_t, FlowDelta> flow_deltas;
+
+    // Cross-tile receptions created this window, drained at the barrier.
+    std::vector<shardx::Handoff<MeshPacket>> outbox;
+    std::uint64_t handoff_seq = 0;
+  };
+
+  void handle_delivery(Shard& shard, sim::NodeId to, sim::NodeId from,
                        const std::shared_ptr<const MeshPacket>& packet);
-  void transmit_counted(mesh::ApId from, const std::shared_ptr<const MeshPacket>& packet);
+  void transmit_counted(Shard& shard, mesh::ApId from,
+                        const std::shared_ptr<const MeshPacket>& packet);
   /// Cancel every pending backoff-delayed rebroadcast (per-send reset).
   void clear_pending_relays();
-  void send_ack_from(mesh::ApId ap);
+  void send_ack_from(Shard& shard, mesh::ApId ap);
   SendOutcome run_send(BuildingId from_building, const PostboxInfo& to,
                        std::span<const std::uint8_t> payload, const SendOptions& opts,
                        std::uint8_t extra_flags, std::uint32_t broadcast_radius_m);
+
+  /// The resolved relayx config (seed + legacy building_suppression alias).
+  relayx::PolicyConfig resolved_relay_config() const;
+  /// Build the K tile shards, cross-link index, and worker pool.
+  void build_tiles();
+  Shard& shard_for(mesh::ApId ap) {
+    return *shards_[config_.shards > 1 ? plan_.ap_tile[ap] : 0];
+  }
+  /// Deliver one on-air packet over this shard's cut edges: hashed
+  /// loss/jitter per link, arrival recorded as a Handoff in the outbox.
+  void remote_fanout(Shard& shard, sim::NodeId from,
+                     const std::shared_ptr<const MeshPacket>& packet, sim::SimTime air,
+                     std::uint32_t tx_index);
+  /// The tiled window loop behind run_until (shards > 1).
+  std::size_t run_tiled(sim::SimTime until, std::size_t max_events);
+  /// Barrier exchange: drain every outbox, sort (time, src_tile, seq),
+  /// schedule each handoff into its receiving tile.
+  void exchange_handoffs();
+  /// Fold every shard's Active/Flow deltas into the network-level outcome
+  /// state (tile order; consumes the deltas).
+  void merge_shard_deltas();
 
   static std::size_t trace_capacity_for(const NetworkConfig& config,
                                         std::size_t ap_count);
@@ -430,19 +607,44 @@ class CityMeshNetwork {
   };
   ActiveSend active_;
 
-  // Pending (backoff-delayed) rebroadcasts, keyed by (message_id, ap): the
-  // cancelable simulator event plus the overheard-duplicate tally the policy
-  // judges cancellation by. Shared by the single-send path (cleared per
-  // send) and injected flows.
-  struct PendingRelay {
-    sim::Simulator::EventId event = sim::Simulator::kInvalidEvent;
-    std::uint32_t overheard = 0;
-  };
-  std::unordered_map<std::uint64_t, PendingRelay> pending_;
-
   // Injected-flow bookkeeping (src/trafficx), keyed by message id. The
-  // single-send path never touches this map.
+  // single-send path never touches this map. Read-only while a tiled window
+  // is running (workers probe it for per-flow attribution); mutated only by
+  // the coordinator between windows.
   std::unordered_map<std::uint32_t, FlowState> flows_;
+
+  // --- Tiled execution (src/shardx) --------------------------------------
+  // shards_ holds exactly one legacy aliasing shard (config_.shards <= 1)
+  // or the K owned tile shards. The coordinator (run_tiled) advances them
+  // in conservative-lookahead windows on the worker pool and exchanges
+  // handoffs at the barriers; cross-thread communication happens only
+  // through the fork/join edges, so the engine is TSan-clean by
+  // construction.
+  shardx::TilePlan plan_;
+  double lookahead_s_ = sim::kForever;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<shardx::WorkerPool> pool_;
+  sim::SimTime shard_now_ = 0.0;  ///< synchronized frontier (tiled runs)
+  // Cross-link CSR: cross_links_[cross_base_[ap] .. cross_base_[ap+1]) are
+  // the cut edges leaving `ap`, in plan order.
+  std::vector<std::size_t> cross_base_;
+  std::vector<shardx::CrossLink> cross_links_;
+  // Coordinator-level control events (min-heap on (time, seq)).
+  struct ControlEvent {
+    sim::SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  static bool control_after(const ControlEvent& a, const ControlEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  std::vector<ControlEvent> control_;
+  std::uint64_t control_seq_ = 0;
+  std::vector<shardx::Handoff<MeshPacket>> handoff_scratch_;
+  bool record_handoffs_ = false;
+  std::vector<HandoffRecord> handoff_log_;
+  std::uint64_t handoffs_exchanged_ = 0;
 };
 
 }  // namespace citymesh::core

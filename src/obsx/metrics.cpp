@@ -1,6 +1,7 @@
 #include "obsx/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -23,7 +24,7 @@ void Histogram::record(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   ++total_;
-  sum_ += v;
+  sum_ += sum_quantum_ > 0.0 ? std::round(v / sum_quantum_) * sum_quantum_ : v;
 }
 
 void Histogram::reset() {

@@ -1,7 +1,7 @@
 #include "relayx/policy.hpp"
 
 #include <array>
-#include <limits>
+#include <cmath>
 #include <string>
 
 #include "geo/point.hpp"
@@ -72,11 +72,18 @@ class FloodPolicy final : public RebroadcastPolicy {
 class BuildingBackoffPolicy final : public RebroadcastPolicy {
  public:
   BuildingBackoffPolicy(const PolicyConfig& config, const mesh::ApNetwork& aps)
-      : RebroadcastPolicy(config), aps_(aps), rng_(config.seed) {}
+      : RebroadcastPolicy(config), aps_(aps), rng_(config.seed) {
+    // Per-AP streams (config.per_ap_streams): each AP draws from its own
+    // deterministic stream, so the draw an election makes depends only on
+    // which AP elects for the how-many-th time — not on the global election
+    // order, which tiled execution (src/shardx) makes shard-count-dependent.
+    if (config.per_ap_streams) streams_ = make_streams(config.seed, aps.ap_count());
+  }
 
-  Decision elect(const Reception&) override {
+  Decision elect(const Reception& rx) override {
     count_scheduled();
-    return {Decision::Kind::kDelay, rng_.uniform(0.0, config_.backoff_s)};
+    geo::Rng& rng = streams_.empty() ? rng_ : streams_[rx.ap];
+    return {Decision::Kind::kDelay, rng.uniform(0.0, config_.backoff_s)};
   }
 
   bool cancel_on_overhear(const Reception& rx, std::uint32_t) override {
@@ -88,6 +95,7 @@ class BuildingBackoffPolicy final : public RebroadcastPolicy {
  private:
   const mesh::ApNetwork& aps_;
   geo::Rng rng_;  ///< shared backoff stream (legacy message_rng_ order)
+  std::vector<geo::Rng> streams_;  ///< per-AP streams (per_ap_streams only)
 };
 
 // --------------------------------------------------------- counter-gossip ---
@@ -147,15 +155,21 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
     for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
       edge_base_.push_back(edge_base_.back() + graph.degree(static_cast<mesh::ApId>(v)));
     }
-    rx_counts_.assign(edge_base_.back(), 0);
+    rx_counts_.assign(edge_base_.back(), 0.0);
+    last_rx_s_.assign(edge_base_.back(), 0.0);
   }
 
   void observe(const Reception& rx) override {
     const auto links = aps_.graph().neighbors(rx.ap);
     for (std::size_t i = 0; i < links.size(); ++i) {
       if (links[i].to != rx.from) continue;
-      std::uint32_t& count = rx_counts_[edge_base_[rx.ap] + i];
-      if (count != std::numeric_limits<std::uint32_t>::max()) ++count;
+      const std::size_t slot = edge_base_[rx.ap] + i;
+      // Lazy exponential decay: age the accumulated mass to `now`, then add
+      // this reception. Commutative for equal-time receptions, so the
+      // estimate is a pure function of the link's reception *times*, never
+      // of event-processing order (shard-count invariance, src/shardx).
+      rx_counts_[slot] = aged(rx_counts_[slot], last_rx_s_[slot], rx.now_s) + 1.0;
+      last_rx_s_[slot] = rx.now_s;
       count_etx_update();
       return;
     }
@@ -163,7 +177,8 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
 
   Decision elect(const Reception& rx) override {
     count_scheduled();
-    const double quality = score(rx.ap) / (score(rx.ap) + config_.etx_pivot);
+    const double s = score(rx.ap, rx.now_s);
+    const double quality = s / (s + config_.etx_pivot);
     // Priority shapes a quarter of the window, jitter the rest: enough skew
     // that hubs fire earlier on average, enough randomness that a
     // peripheral bridge AP is not deterministically last (it would soak up
@@ -179,7 +194,8 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
     // them too strands the flood exactly at the cluster exits they guard —
     // they always fire (possibly redundantly; that residue is the price of
     // keeping the frontier alive).
-    const double quality = score(rx.ap) / (score(rx.ap) + config_.etx_pivot);
+    const double s = score(rx.ap, rx.now_s);
+    const double quality = s / (s + config_.etx_pivot);
     if (quality < 0.5) return false;
     if (overheard < config_.cancel_copies &&
         !same_building_nearby(aps_, rx, config_.suppress_radius_m)) {
@@ -190,11 +206,21 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
   }
 
  private:
-  /// Saturating link-quality mass of one AP: sum of c/(c+1) over its links.
-  double score(mesh::ApId ap) const {
+  /// A link count aged from its last-update time to `now`; identity when
+  /// decay is off or time has not advanced.
+  double aged(double count, double last_s, double now_s) const {
+    if (config_.decay_half_life_s <= 0.0 || count == 0.0 || now_s <= last_s)
+      return count;
+    return count * std::exp2(-(now_s - last_s) / config_.decay_half_life_s);
+  }
+
+  /// Saturating link-quality mass of one AP at time `now_s`: sum of c/(c+1)
+  /// over its links, with each c aged to now (read-only; observe() owns the
+  /// stored values).
+  double score(mesh::ApId ap, double now_s) const {
     double total = 0.0;
     for (std::size_t i = edge_base_[ap]; i < edge_base_[ap + 1]; ++i) {
-      const double c = static_cast<double>(rx_counts_[i]);
+      const double c = aged(rx_counts_[i], last_rx_s_[i], now_s);
       total += c / (c + 1.0);
     }
     return total;
@@ -202,8 +228,9 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
 
   const mesh::ApNetwork& aps_;
   std::vector<geo::Rng> streams_;
-  std::vector<std::size_t> edge_base_;     ///< CSR offsets into rx_counts_
-  std::vector<std::uint32_t> rx_counts_;   ///< per directed link (ap <- from)
+  std::vector<std::size_t> edge_base_;   ///< CSR offsets into rx_counts_
+  std::vector<double> rx_counts_;        ///< per directed link (ap <- from)
+  std::vector<double> last_rx_s_;        ///< last reception time per link
 };
 
 }  // namespace

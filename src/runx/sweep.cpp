@@ -236,7 +236,7 @@ SweepReport run_sweep(const SweepSpec& spec, CityCache& cache,
         snap_cfg.seed = job.seed;
         const core::NetworkSnapshot snap = core::evaluate_snapshot(network, snap_cfg);
         result.cells = scenario_cells(snap);
-        result.metrics = network.metrics().snapshot();
+        result.metrics = network.merged_metrics();
         break;
       }
       case SweepPoint::Kind::kWorkload: {

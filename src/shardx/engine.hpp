@@ -1,0 +1,53 @@
+// Cross-tile handoff events and the window worker pool (shardx).
+//
+// Execution model: the owning network runs the K tiles in rounds of
+// conservative-lookahead windows [W, W + lookahead). During a window each
+// tile's simulator runs alone on one worker — all state it touches is
+// tile-local. Receptions crossing a cut edge are NOT delivered immediately;
+// the transmitting tile computes the arrival time (the lookahead bound
+// guarantees it lies at or beyond the window end) and appends an immutable
+// Handoff to its outbox. At the window barrier the coordinator drains every
+// outbox, sorts by (time, src_tile, seq) — a total order that does not
+// depend on worker scheduling — and schedules each handoff into the
+// receiving tile's simulator before the next window starts. That barrier
+// exchange is the only cross-thread communication, and the pool's
+// fork/join synchronization sequences it, so the engine is clean under
+// TSan by construction rather than by fine-grained locking.
+//
+// The Handoff carries shared_ptr<const Packet>: packets are immutable after
+// transmit (sim/medium packet contract; core::CompiledMessage), which is
+// what makes handing the same object to another tile's thread safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/medium.hpp"
+#include "shardx/tiling.hpp"
+#include "shardx/worker_pool.hpp"
+
+namespace citymesh::shardx {
+
+/// One reception crossing a tile boundary, created by the transmitting tile
+/// and ingested by the receiving tile at the next window barrier.
+template <typename Packet>
+struct Handoff {
+  double time = 0.0;       ///< arrival sim time at the receiver
+  TileId src_tile = 0;     ///< transmitting tile (tie-break component)
+  std::uint64_t seq = 0;   ///< creation order within src_tile (final tie-break)
+  sim::NodeId to = 0;
+  sim::NodeId from = 0;
+  std::shared_ptr<const Packet> packet;
+};
+
+/// Deterministic barrier ordering: arrival time, then source tile, then
+/// per-source creation order. Worker scheduling cannot perturb any key.
+template <typename Packet>
+bool handoff_before(const Handoff<Packet>& a, const Handoff<Packet>& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.src_tile != b.src_tile) return a.src_tile < b.src_tile;
+  return a.seq < b.seq;
+}
+
+}  // namespace citymesh::shardx

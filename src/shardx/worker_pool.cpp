@@ -1,0 +1,84 @@
+#include "shardx/worker_pool.hpp"
+
+namespace citymesh::shardx {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock{mu_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::uint64_t gen;
+  {
+    std::lock_guard lock{mu_};
+    gen = ++generation_;
+    task_count_ = n;
+    next_task_ = 0;
+    finished_ = 0;
+    task_ = &fn;
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  drain(gen);
+  std::exception_ptr error;
+  {
+    std::unique_lock lock{mu_};
+    done_cv_.wait(lock, [this] { return finished_ == task_count_; });
+    task_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void WorkerPool::drain(std::uint64_t gen) {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard lock{mu_};
+      // The generation gate stops a worker that raced past the previous
+      // barrier from claiming tasks of a later run() with stale state.
+      if (generation_ != gen || task_ == nullptr || next_task_ >= task_count_) return;
+      index = next_task_++;
+      fn = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard lock{mu_};
+    if (error && !first_error_) first_error_ = error;
+    if (++finished_ == task_count_) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::uint64_t gen;
+    {
+      std::unique_lock lock{mu_};
+      work_cv_.wait(lock, [&] {
+        return stop_ || (task_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      gen = seen_generation = generation_;
+    }
+    drain(gen);
+  }
+}
+
+}  // namespace citymesh::shardx

@@ -1,0 +1,65 @@
+// A small persistent fork/join worker pool.
+//
+// One pool lives for the whole tiled run; each lookahead window forks one
+// task per tile and joins at the barrier. Persistent threads matter because
+// a metro-scale run executes tens of thousands of windows — spawning
+// std::thread per window would dominate the wall clock the sharding is
+// meant to win back. The calling thread participates as a worker, so
+// `WorkerPool(0)` degrades to plain sequential execution (how a 1-core
+// container runs K tiles: correct, just not faster).
+//
+// run() establishes full happens-before in both directions: task writes are
+// visible to the caller after run() returns, and caller writes before run()
+// are visible to every task — the property the window-barrier handoff
+// exchange (engine.hpp) relies on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace citymesh::shardx {
+
+class WorkerPool {
+ public:
+  /// `threads` extra worker threads (the caller is always an implicit
+  /// worker). Typically min(tiles, hardware_concurrency) - 1.
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run fn(i) for every i in [0, n), distributed over the workers and the
+  /// calling thread; returns once all n calls finished. The first exception
+  /// thrown by any task is rethrown here (remaining tasks still complete).
+  /// Not reentrant.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+  /// Claim-and-run loop shared by workers and the caller; claims are gated
+  /// on `gen` so a late worker never touches a newer run()'s state.
+  void drain(std::uint64_t gen);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< caller waits for completion
+  std::uint64_t generation_ = 0;
+  std::size_t task_count_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t finished_ = 0;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace citymesh::shardx

@@ -64,6 +64,29 @@ namespace citymesh::sim {
 
 using NodeId = graphx::VertexId;
 
+/// Decorrelates the jitter stream/hash from the loss stream/hash
+/// (sqrt(2) bits).
+inline constexpr std::uint64_t kJitterStream = 0x6a09e667f3bcc909ULL;
+
+/// Content-keyed unit draw in [0, 1) for shard-invariant link randomness:
+/// hashing (seed, from, to, the sender's on-air transmission index, salt)
+/// instead of consuming a shared sequential stream makes loss and jitter
+/// outcomes a pure function of *what* was transmitted, independent of which
+/// tile shard processes the link or how events interleave globally — the
+/// property that keeps determinism digests identical across shard counts
+/// (src/shardx).
+inline double link_unit(std::uint64_t seed, NodeId from, NodeId to,
+                        std::uint32_t tx_index, std::uint64_t salt) {
+  std::uint64_t state = seed;
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(from) + 1);
+  (void)geo::splitmix64(state);
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(to) + 1);
+  (void)geo::splitmix64(state);
+  state ^= (static_cast<std::uint64_t>(tx_index) << 8) ^ salt;
+  const std::uint64_t bits = geo::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
 struct MediumConfig {
   /// Fixed per-packet transmission (serialization) delay, seconds. Only
   /// used when bitrate_bps == 0 (no contention model).
@@ -89,6 +112,17 @@ struct MediumConfig {
   /// Transmit-queue slots behind the in-flight packet; a transmit arriving
   /// with the queue full is dropped and counted (medium.queue_drops).
   std::size_t tx_queue_capacity = 8;
+
+  // --- Shard-invariant link randomness (src/shardx) ----------------------
+  /// When true, loss and jitter draw from link_unit() — a content-keyed
+  /// hash of (seed, from, to, sender tx index) — instead of the shared
+  /// sequential streams, so outcomes do not depend on event interleaving
+  /// across tile shards. The hashed draws differ from the sequential
+  /// streams' values, so this is a distinct (still fully deterministic)
+  /// regime: the tiled engine enables it for every shard count K >= 2,
+  /// which is what makes digests K-invariant, while K = 1 keeps the legacy
+  /// streams and the golden digests.
+  bool shard_invariant_rng = false;
 };
 
 template <typename Packet>
@@ -109,6 +143,15 @@ class BroadcastMedium {
   /// Observer invoked once per packet actually put on the air (after any
   /// deferral; dropped packets never fire it).
   using TxObserverFn = std::function<void(NodeId from, const Packet&)>;
+  /// Cross-shard fan-out hook (src/shardx): invoked once per on-air packet
+  /// with (from, packet, serialization delay, sender tx index) AFTER the
+  /// local neighbor loop, so the owning network can deliver the packet over
+  /// topology edges that leave this medium's tile. The tx index is the one
+  /// link_unit() draws keyed on, letting the remote side reproduce the
+  /// exact loss/jitter outcome for its links.
+  using RemoteFanoutFn =
+      std::function<void(NodeId from, const std::shared_ptr<const Packet>&, SimTime air,
+                         std::uint32_t tx_index)>;
 
   BroadcastMedium(Simulator& simulator, const graphx::Graph& topology, MediumConfig config)
       : sim_(simulator),
@@ -116,7 +159,8 @@ class BroadcastMedium {
         config_(config),
         loss_rng_(config.seed),
         jitter_rng_(config.seed ^ kJitterStream),
-        tx_state_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0) {
+        tx_state_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0),
+        tx_counts_(config.shard_invariant_rng ? topology.vertex_count() : 0) {
     transmissions_ = &own_.counter("transmissions");
     deliveries_ = &own_.counter("deliveries");
     losses_ = &own_.counter("losses");
@@ -144,6 +188,13 @@ class BroadcastMedium {
   /// src/trafficx). Fires at the same instant as the medium's kTx trace
   /// event. Pass nullptr to clear.
   void set_tx_observer(TxObserverFn fn) { tx_observer_ = std::move(fn); }
+
+  /// Install the cross-shard fan-out hook (src/shardx). Pass nullptr to
+  /// clear. Only meaningful when this medium's topology is a tile subgraph:
+  /// the hook carries every on-air packet to the links the subgraph omits.
+  void set_remote_fanout(RemoteFanoutFn fn) { remote_fanout_ = std::move(fn); }
+
+  const MediumConfig& config() const { return config_; }
 
   /// Repoint the medium's counters into `registry` under `<prefix>.*` so
   /// consumers read the medium's own tally instead of keeping a parallel
@@ -237,6 +288,7 @@ class BroadcastMedium {
     queue_drops_->reset();
     airtime_us_->reset();
     for (TxState& tx : tx_state_) tx.airtime_s = 0.0;
+    for (std::uint32_t& c : tx_counts_) c = 0;
   }
 
  private:
@@ -246,9 +298,6 @@ class BroadcastMedium {
     std::deque<std::shared_ptr<const Packet>> queue;
     double airtime_s = 0.0;
   };
-
-  /// Decorrelates the jitter stream from the loss stream (sqrt(2) bits).
-  static constexpr std::uint64_t kJitterStream = 0x6a09e667f3bcc909ULL;
 
   SimTime serialization_delay(const Packet& packet) const {
     if (!contention_enabled()) return config_.tx_delay_s;
@@ -272,20 +321,32 @@ class BroadcastMedium {
       airtime_us_->inc(static_cast<std::uint64_t>(std::llround(air * 1e6)));
       sim_.schedule_in(air, [this, from] { complete_transmission(from); });
     }
+    const std::uint32_t txn =
+        config_.shard_invariant_rng ? tx_counts_[from]++ : 0;
     for (const graphx::Edge& link : topology_.neighbors(from)) {
       double loss = config_.loss_probability;
       if (link_loss_) {
         const double extra = link_loss_(from, link.to);
         if (extra > 0.0) loss = 1.0 - (1.0 - loss) * (1.0 - extra);
       }
-      if (loss > 0.0 && loss_rng_.chance(loss)) {
-        losses_->inc();
-        trace(obsx::TraceKind::kDropLoss, link.to, pid, static_cast<std::uint32_t>(from));
-        continue;
+      if (loss > 0.0) {
+        const bool lost = config_.shard_invariant_rng
+                              ? link_unit(config_.seed, from, link.to, txn, 0) < loss
+                              : loss_rng_.chance(loss);
+        if (lost) {
+          losses_->inc();
+          trace(obsx::TraceKind::kDropLoss, link.to, pid, static_cast<std::uint32_t>(from));
+          continue;
+        }
       }
-      const SimTime delay =
-          air + config_.prop_delay_s_per_m * link.weight +
-          (config_.jitter_s > 0.0 ? jitter_rng_.uniform(0.0, config_.jitter_s) : 0.0);
+      SimTime jitter = 0.0;
+      if (config_.jitter_s > 0.0) {
+        jitter = config_.shard_invariant_rng
+                     ? link_unit(config_.seed ^ kJitterStream, from, link.to, txn, 1) *
+                           config_.jitter_s
+                     : jitter_rng_.uniform(0.0, config_.jitter_s);
+      }
+      const SimTime delay = air + config_.prop_delay_s_per_m * link.weight + jitter;
       const NodeId to = link.to;
       sim_.schedule_in(delay, [this, to, from, packet, pid] {
         // Receiver status is sampled at delivery time: a node that went down
@@ -300,6 +361,7 @@ class BroadcastMedium {
         if (deliver_) deliver_(to, from, packet);
       });
     }
+    if (remote_fanout_) remote_fanout_(from, packet, air, txn);
   }
 
   /// The in-flight packet finished serializing: start the next queued one.
@@ -342,7 +404,9 @@ class BroadcastMedium {
   LinkLossFn link_loss_;
   PacketBitsFn packet_bits_;
   TxObserverFn tx_observer_;
+  RemoteFanoutFn remote_fanout_;
   std::vector<TxState> tx_state_;  ///< empty when contention is off
+  std::vector<std::uint32_t> tx_counts_;  ///< empty unless shard_invariant_rng
   obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()
   obsx::Counter* transmissions_;
   obsx::Counter* deliveries_;

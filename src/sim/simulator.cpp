@@ -16,9 +16,24 @@ Simulator::EventId Simulator::schedule_cancelable_at(SimTime t, Handler fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (cancelable_.erase(id) == 0) return false;
+  if (cancelable_.erase(id) == 0) {
+    ++cancel_misses_;
+    return false;
+  }
   cancelled_.insert(id);
   return true;
+}
+
+void Simulator::advance_to(SimTime t) {
+  if (t <= now_) return;
+  if (t > next_time())
+    throw std::invalid_argument{"Simulator: advance_to would skip pending events"};
+  now_ = t;
+}
+
+void Simulator::schedule_at_unrecorded(SimTime t, Handler fn) {
+  if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
+  queue_.push({t, next_seq_++, std::move(fn)});
 }
 
 std::size_t Simulator::run(SimTime until, std::size_t max_events) {

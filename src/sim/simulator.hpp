@@ -48,17 +48,39 @@ class Simulator {
   }
 
   /// Cancel a pending cancelable event. Returns false when the token was
-  /// already cancelled, already ran, or never cancelable. O(1) amortized —
+  /// already cancelled, already ran, or never cancelable *here* (e.g. it
+  /// belongs to another shard's simulator) — a counted no-op, never UB;
+  /// per-shard timer ownership (src/shardx) relies on this. O(1) amortized —
   /// the heap is not touched; the event is skipped when it surfaces.
   bool cancel(EventId id);
 
   /// Cancelable events scheduled and not yet run or cancelled.
   std::size_t cancelable_pending() const { return cancelable_.size(); }
 
+  /// cancel() calls that found nothing to cancel (already fired, already
+  /// cancelled, or a foreign event id).
+  std::uint64_t cancel_misses() const { return cancel_misses_; }
+
   /// Run until the queue drains, `until` is reached, or `max_events` have
   /// been processed. Returns the number of events processed by this call.
   std::size_t run(SimTime until = kForever,
                   std::size_t max_events = std::numeric_limits<std::size_t>::max());
+
+  /// Earliest pending event time; kForever when the queue is empty. The
+  /// shardx window coordinator uses this to skip idle spans instead of
+  /// stepping empty lookahead windows.
+  SimTime next_time() const { return queue_.empty() ? kForever : queue_.top().time; }
+
+  /// Fast-forward to `t` without running anything (window-barrier alignment
+  /// across shards). Must not skip events: throws when t > next_time().
+  /// No-op when t <= now().
+  void advance_to(SimTime t);
+
+  /// Like schedule_at, but bypasses the latency histogram: cross-shard
+  /// handoff ingestion records the handoff's true tx->rx latency on the
+  /// source shard at creation time, so recording the barrier->arrival
+  /// remainder here would double-count.
+  void schedule_at_unrecorded(SimTime t, Handler fn);
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
@@ -87,6 +109,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
+  std::uint64_t cancel_misses_ = 0;
   obsx::Histogram* latency_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   // Cancelable-event bookkeeping; both empty unless schedule_cancelable_*

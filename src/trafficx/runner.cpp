@@ -13,12 +13,10 @@ WorkloadResult run_workload(core::CityMeshNetwork& network,
   WorkloadResult result;
   result.flows.resize(schedule.flows.size());
 
-  // Contention counters are cumulative on the medium; this run's share is
+  // Contention counters are cumulative on the medium(s); this run's share is
   // the delta, so workload runs compose (and stack on faultx scenarios).
-  auto& medium = network.medium();
-  const std::uint64_t drops_before = medium.queue_drops();
-  const std::uint64_t deferrals_before = medium.deferrals();
-  const double airtime_before = medium.total_airtime_s();
+  // medium_totals() sums across tile shards when the network runs tiled.
+  const core::CityMeshNetwork::MediumTotals before = network.medium_totals();
 
   // One postbox identity per destination building, derived deterministically
   // so the same (schedule, seed) addresses the same recipients every run.
@@ -37,8 +35,7 @@ WorkloadResult run_workload(core::CityMeshNetwork& network,
   // Schedule every injection at its arrival time, then run the event loop
   // once: flows overlap and contend for airtime. Payload bytes are zeros —
   // the medium charges size, not content.
-  auto& sim = network.simulator();
-  const double t0 = sim.now();
+  const double t0 = network.sim_now();
   std::vector<std::uint32_t> message_ids(schedule.flows.size(), 0);
   std::size_t max_payload = 1;
   for (const Flow& flow : schedule.flows) {
@@ -49,7 +46,7 @@ WorkloadResult run_workload(core::CityMeshNetwork& network,
     const Flow& flow = schedule.flows[i];
     result.flows[i].start_s = flow.start_s;
     result.flows[i].payload_bytes = flow.payload_bytes;
-    sim.schedule_at(t0 + flow.start_s, [&, i] {
+    network.schedule_control(t0 + flow.start_s, [&, i] {
       const Flow& f = schedule.flows[i];
       const auto inject = network.inject(
           f.src, recipients.at(f.dst),
@@ -60,7 +57,7 @@ WorkloadResult run_workload(core::CityMeshNetwork& network,
       }
     });
   }
-  sim.run(t0 + schedule.spec.duration_s + config.tail_s, config.max_events);
+  network.run_until(t0 + schedule.spec.duration_s + config.tail_s, config.max_events);
 
   // Overhead denominator: ideal unicast hops from the flow's source AP to
   // the closest AP of the destination building, over the *static* AP graph
@@ -98,11 +95,11 @@ WorkloadResult run_workload(core::CityMeshNetwork& network,
   }
   network.clear_flow_states();
 
+  const core::CityMeshNetwork::MediumTotals after = network.medium_totals();
   result.summary = core::summarize_capacity(
-      result.flows, schedule.spec.duration_s, medium.queue_drops() - drops_before,
-      medium.deferrals() - deferrals_before,
-      medium.total_airtime_s() - airtime_before);
-  result.metrics = network.metrics().snapshot();
+      result.flows, schedule.spec.duration_s, after.queue_drops - before.queue_drops,
+      after.deferrals - before.deferrals, after.airtime_s - before.airtime_s);
+  result.metrics = network.merged_metrics();
   return result;
 }
 

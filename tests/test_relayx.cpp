@@ -342,6 +342,82 @@ TEST(EtxPriorityPolicy, ObserveIgnoresNonNeighborTransmitters) {
   EXPECT_EQ(policy->etx_updates(), 0u);
 }
 
+TEST(EtxPriorityPolicy, DecayAgesLinkQuality) {
+  const auto& aps = dense_aps();
+  relayx::PolicyConfig base;
+  base.kind = relayx::PolicyKind::kEtxPriority;
+  relayx::PolicyConfig decaying = base;
+  decaying.decay_half_life_s = 5.0;
+  const auto fresh = relayx::make_policy(base, aps);
+  const auto aged = relayx::make_policy(decaying, aps);
+  const mesh::ApId ap = ap_with_degree(aps, 2);
+
+  // Identical warm-up at t = 0; observe() draws no randomness, so the two
+  // policies' streams stay aligned and the delay comparison isolates decay.
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& edge : aps.graph().neighbors(ap)) {
+      fresh->observe(rx_at(ap, edge.to, 0.0));
+      aged->observe(rx_at(ap, edge.to, 0.0));
+    }
+  }
+
+  // 100 s = 20 half-lives later the decayed counts are dust: the link looks
+  // cold again and the backoff stretches. Without decay the mass coasts.
+  const mesh::ApId peer = aps.graph().neighbors(ap)[0].to;
+  const auto d_fresh = fresh->elect(rx_at(ap, peer, 100.0));
+  const auto d_aged = aged->elect(rx_at(ap, peer, 100.0));
+  ASSERT_EQ(d_fresh.kind, relayx::Decision::Kind::kDelay);
+  ASSERT_EQ(d_aged.kind, relayx::Decision::Kind::kDelay);
+  EXPECT_GT(d_aged.delay_s, d_fresh.delay_s);
+}
+
+TEST(EtxPriorityPolicy, ZeroHalfLifeIgnoresTime) {
+  // decay_half_life_s = 0 (the default) is the pre-decay behavior exactly:
+  // counts only grow, and elapsed silence never changes a decision.
+  const auto& aps = dense_aps();
+  relayx::PolicyConfig cfg;
+  cfg.kind = relayx::PolicyKind::kEtxPriority;
+  const auto now = relayx::make_policy(cfg, aps);
+  const auto later = relayx::make_policy(cfg, aps);
+  const mesh::ApId ap = ap_with_degree(aps, 2);
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& edge : aps.graph().neighbors(ap)) {
+      now->observe(rx_at(ap, edge.to, 0.0));
+      later->observe(rx_at(ap, edge.to, 0.0));
+    }
+  }
+  const mesh::ApId peer = aps.graph().neighbors(ap)[0].to;
+  const auto d0 = now->elect(rx_at(ap, peer, 0.0));
+  const auto d1 = later->elect(rx_at(ap, peer, 1000.0));
+  ASSERT_EQ(d0.kind, relayx::Decision::Kind::kDelay);
+  ASSERT_EQ(d1.kind, relayx::Decision::Kind::kDelay);
+  EXPECT_DOUBLE_EQ(d0.delay_s, d1.delay_s);
+}
+
+TEST(BuildingBackoffPolicy, PerApStreamsIndependentOfElectionOrder) {
+  // per_ap_streams decouples each AP's draw sequence from the global
+  // election order — the property tiled execution (src/shardx) needs, since
+  // the interleaving of elections across tiles is shard-count-dependent.
+  const auto& aps = dense_aps();
+  relayx::PolicyConfig cfg;
+  cfg.kind = relayx::PolicyKind::kBuildingBackoff;
+  cfg.per_ap_streams = true;
+  const auto fwd = relayx::make_policy(cfg, aps);
+  const auto rev = relayx::make_policy(cfg, aps);
+  const mesh::ApId a = ap_with_degree(aps, 2);
+  const mesh::ApId b = aps.graph().neighbors(a)[0].to;
+  ASSERT_NE(a, b);
+
+  const auto fa = fwd->elect(rx_at(a, b));
+  const auto fb = fwd->elect(rx_at(b, a));
+  const auto rb = rev->elect(rx_at(b, a));
+  const auto ra = rev->elect(rx_at(a, b));
+  ASSERT_EQ(fa.kind, relayx::Decision::Kind::kDelay);
+  ASSERT_EQ(fb.kind, relayx::Decision::Kind::kDelay);
+  EXPECT_DOUBLE_EQ(fa.delay_s, ra.delay_s);
+  EXPECT_DOUBLE_EQ(fb.delay_s, rb.delay_s);
+}
+
 // -------------------------------------------- cancelable simulator events ---
 
 TEST(CancelableEvents, CancelledHandlerNeverRuns) {

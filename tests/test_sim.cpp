@@ -98,6 +98,49 @@ TEST(Simulator, EmptyRunAdvancesToUntil) {
   EXPECT_DOUBLE_EQ(s.now(), 42.0);
 }
 
+// Cancel on a fired, already-cancelled, or foreign event id is a counted
+// no-op — never UB. Per-shard timer ownership (src/shardx) relies on this:
+// an overhear-cancel may race a backoff that already fired on its own tile.
+
+TEST(Simulator, CancelAfterFireIsCountedMiss) {
+  sim::Simulator s;
+  int fired = 0;
+  const auto id = s.schedule_cancelable_at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.cancel_misses(), 1u);
+  EXPECT_EQ(s.cancelable_pending(), 0u);
+}
+
+TEST(Simulator, DoubleCancelSecondIsMiss) {
+  sim::Simulator s;
+  int fired = 0;
+  const auto id = s.schedule_cancelable_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.cancel_misses(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 0);
+  // The cancelled event still occupied its heap slot and advanced time.
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+TEST(Simulator, ForeignEventIdIsCountedMiss) {
+  sim::Simulator a;
+  sim::Simulator b;
+  int fired = 0;
+  const auto id = a.schedule_cancelable_at(1.0, [&] { ++fired; });
+  // `id` belongs to simulator a; b has never seen it.
+  EXPECT_FALSE(b.cancel(id));
+  EXPECT_EQ(b.cancel_misses(), 1u);
+  EXPECT_EQ(a.cancel_misses(), 0u);
+  EXPECT_FALSE(b.cancel(sim::Simulator::kInvalidEvent));
+  EXPECT_EQ(b.cancel_misses(), 2u);
+  a.run();
+  EXPECT_EQ(fired, 1);  // the foreign-cancel attempt never touched a's event
+}
+
 // --------------------------------------------------------------- Medium ---
 
 namespace {

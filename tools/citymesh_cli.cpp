@@ -45,6 +45,13 @@
 //   --jobs N              worker threads (default 1; 0 = all cores). The
 //                         merged report and manifest are byte-identical for
 //                         any N.
+//   --shards N            tiled parallel engine (src/shardx) inside each run:
+//                         partition the city into N tiles with their own
+//                         event queues, synchronized by conservative
+//                         lookahead. Composes with --jobs (N tiles per run x
+//                         --jobs concurrent runs). Digests are invariant
+//                         across every N >= 2; N=1 is the sequential legacy
+//                         engine.
 //   --json FILE           write the merged sweep manifest to FILE
 //
 // Trace options:
@@ -109,8 +116,10 @@ struct Options {
   std::string trace_file;
   std::string json_file;
   double bitrate_bps = 50e3;
+  std::optional<double> jitter_s;
   std::size_t queue_slots = 8;
   std::size_t sweep_jobs = 1;
+  std::size_t shards = 1;
   std::string kind_filter;
   std::optional<std::uint32_t> node_filter;
   std::optional<std::uint32_t> packet_filter;
@@ -136,6 +145,8 @@ int usage() {
       "         --spec FILE --scenario FILE --bitrate BPS --queue N\n"
       "         --json FILE (load)\n"
       "         --jobs N --json FILE (sweep)\n"
+      "         --shards N (tiled parallel engine; 1 = sequential legacy)\n"
+      "         --jitter S (per-delivery jitter seconds; 0 = draw-free)\n"
       "         --trace FILE (send/scenario/load)\n"
       "         --kind K --node N --packet P (trace)\n";
   return 2;
@@ -214,6 +225,11 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
     } else if (arg == "--bitrate") {
       const auto v = next();
       if (!v || !parse_double(*v, opts.bitrate_bps)) return std::nullopt;
+    } else if (arg == "--jitter") {
+      double j = 0.0;
+      const auto v = next();
+      if (!v || !parse_double(*v, j) || j < 0.0) return std::nullopt;
+      opts.jitter_s = j;
     } else if (arg == "--queue") {
       std::uint64_t n = 0;
       const auto v = next();
@@ -224,6 +240,11 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       const auto v = next();
       if (!v || !parse_u64(*v, n)) return std::nullopt;
       opts.sweep_jobs = n;
+    } else if (arg == "--shards") {
+      std::uint64_t n = 0;
+      const auto v = next();
+      if (!v || !parse_u64(*v, n) || n == 0) return std::nullopt;
+      opts.shards = n;
     } else if (arg == "--svg") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -283,6 +304,8 @@ core::NetworkConfig network_config(const Options& opts) {
   cfg.graph.transmission_range_m = opts.range_m;
   cfg.conduit.width_m = opts.width_m;
   cfg.building_suppression = opts.suppression;
+  cfg.shards = opts.shards;
+  if (opts.jitter_s) cfg.medium.jitter_s = *opts.jitter_s;
   if (!opts.policy.empty()) {
     cfg.relay.kind = *relayx::policy_kind_from(opts.policy);
   }
@@ -746,7 +769,7 @@ int cmd_load(const Options& opts) {
 // any --jobs value.
 int cmd_sweep(const Options& opts) {
   if (opts.positional.empty()) {
-    std::cerr << "usage: citymesh sweep <spec-file> [--jobs N] [--json FILE]\n";
+    std::cerr << "usage: citymesh sweep <spec-file> [--jobs N] [--shards N] [--json FILE]\n";
     return 2;
   }
   const std::string& path = opts.positional[0];
@@ -780,7 +803,9 @@ int cmd_sweep(const Options& opts) {
   std::cout << "sweep '" << spec->name << "': " << report.jobs.size()
             << " runs over " << spec->cities.size() << " cities ("
             << cache.compiles() << " compiled), jobs="
-            << runx::resolve_jobs(opts.sweep_jobs) << '\n';
+            << runx::resolve_jobs(opts.sweep_jobs);
+  if (opts.shards > 1) std::cout << ", shards=" << opts.shards;
+  std::cout << '\n';
   viz::print_table(std::cout, "Sweep: " + spec->name, runx::sweep_headers(*spec),
                    report.rows());
   if (report.errors > 0) {
