@@ -57,8 +57,10 @@ struct Rung {
   double width_m;
   double height_m;
 };
-constexpr Rung kLadder[] = {
-    {"metro-s", 900, 700}, {"metro-m", 1500, 1100}, {"metro-l", 2200, 1600}};
+constexpr Rung kLadder[] = {{"metro-s", 900, 700},
+                            {"metro-m", 1500, 1100},
+                            {"metro-l", 2200, 1600},
+                            {"metro-xl", 3000, 2200}};
 constexpr Rung kQuickLadder[] = {{"metro-s", 900, 700}};
 
 osmx::CityProfile rung_profile(const Rung& rung) {

@@ -17,6 +17,12 @@
 // flood's disfavor*: the redundant rebroadcasts saturate the shared channel,
 // so suppression buys deliverability back (fewer deferrals and drops).
 //
+// Counter-gossip runs as a mini-axis of its own (kVariants): the
+// cancel_copies suppression threshold (3/5/8 overheard copies) and the
+// assessment window (250 ms vs 80 ms) sweep the policy along the frontier —
+// lower thresholds and shorter windows trade residual overhead against
+// deliverability at the loaded end.
+//
 // Everything is seeded; `--quick` shrinks the grid for smoke/CI runs and
 // the determinism digest makes the two-run comparison a one-line diff.
 // Pass city names as arguments to change the default (boston).
@@ -55,9 +61,6 @@ namespace viz = citymesh::viz;
 
 namespace {
 
-constexpr relayx::PolicyKind kPolicies[] = {
-    relayx::PolicyKind::kFlood, relayx::PolicyKind::kBuildingBackoff,
-    relayx::PolicyKind::kCounterGossip, relayx::PolicyKind::kEtxPriority};
 constexpr double kRates[] = {2.0, 16.0};
 constexpr double kQuickRates[] = {4.0};
 constexpr const char* kScenarios[] = {"clear", "blackout"};
@@ -75,7 +78,28 @@ constexpr double kBlackoutFraction = 0.25;
 // on a serializing channel.
 constexpr double kAssessWindowS = 0.25;
 
-core::NetworkConfig network_config(relayx::PolicyKind policy) {
+// A policy point on the frontier grid. For counter-gossip the suppression
+// threshold (`cancel_copies`) and assessment window are themselves axes:
+// a smaller threshold suppresses earlier (cheaper, riskier), a shorter
+// window sees fewer serialized copies before the relay decision fires.
+// Zero fields mean "keep the policy's legacy default".
+struct PolicyVariant {
+  relayx::PolicyKind kind;
+  std::size_t cancel_copies;  ///< 0 = policy default
+  double assess_window_s;     ///< 0 = legacy 0.02 s backoff
+  const char* label;
+};
+constexpr PolicyVariant kVariants[] = {
+    {relayx::PolicyKind::kFlood, 0, 0.0, "flood"},
+    {relayx::PolicyKind::kBuildingBackoff, 0, 0.0, "building-backoff"},
+    {relayx::PolicyKind::kCounterGossip, 3, kAssessWindowS, "cgossip c3/w250"},
+    {relayx::PolicyKind::kCounterGossip, 5, kAssessWindowS, "cgossip c5/w250"},
+    {relayx::PolicyKind::kCounterGossip, 8, kAssessWindowS, "cgossip c8/w250"},
+    {relayx::PolicyKind::kCounterGossip, 5, 0.08, "cgossip c5/w80"},
+    {relayx::PolicyKind::kEtxPriority, 0, kAssessWindowS, "etx-priority"},
+};
+
+core::NetworkConfig network_config(const PolicyVariant& variant) {
   core::NetworkConfig config;
   config.placement.seed = 7;
   // The paper's 13x-overhead regime: one AP per ~50 m^2 of footprint. At
@@ -86,10 +110,12 @@ core::NetworkConfig network_config(relayx::PolicyKind policy) {
   config.seed = 99;
   config.medium.bitrate_bps = kBitrateBps;
   config.medium.tx_queue_capacity = kQueueSlots;
-  config.relay.kind = policy;
-  if (policy == relayx::PolicyKind::kCounterGossip ||
-      policy == relayx::PolicyKind::kEtxPriority) {
-    config.relay.backoff_s = kAssessWindowS;
+  config.relay.kind = variant.kind;
+  if (variant.assess_window_s > 0.0) {
+    config.relay.backoff_s = variant.assess_window_s;
+  }
+  if (variant.cancel_copies > 0) {
+    config.relay.cancel_copies = variant.cancel_copies;
   }
   return config;
 }
@@ -173,18 +199,18 @@ int main(int argc, char** argv) {
   // compile key); each run owns a fresh network so only policy/load/faults
   // vary.
   const std::size_t n_scen = std::size(kScenarios);
-  const std::size_t n_points = std::size(kPolicies) * rates.size() * n_scen;
+  const std::size_t n_points = std::size(kVariants) * rates.size() * n_scen;
   std::vector<runx::RunJob> grid;
   for (const auto& profile : profiles) {
     emit.manifest().seeds[profile.name] = profile.seed;
-    for (const auto policy : kPolicies) {
+    for (const auto& variant : kVariants) {
       for (const double rate : rates) {
         for (const char* scenario : kScenarios) {
           runx::RunJob job;
           job.city = profile.name;
           job.seed = kWorkloadSeed;
-          job.point = std::string{relayx::to_string(policy)} + " " +
-                      viz::fmt(rate, 1) + "/s " + scenario;
+          job.point = std::string{variant.label} + " " + viz::fmt(rate, 1) +
+                      "/s " + scenario;
           grid.push_back(std::move(job));
         }
       }
@@ -194,11 +220,11 @@ int main(int argc, char** argv) {
   const runx::RunFn fn = [&](const runx::RunJob& job) {
     const auto& profile = profiles[job.index / n_points];
     const std::size_t local = job.index % n_points;
-    const auto policy = kPolicies[local / (rates.size() * n_scen)];
+    const auto& variant = kVariants[local / (rates.size() * n_scen)];
     const double rate = rates[(local / n_scen) % rates.size()];
     const bool blackout = local % n_scen == 1;
 
-    const core::NetworkConfig config = network_config(policy);
+    const core::NetworkConfig config = network_config(variant);
     const auto compiled = cache.get(profile, config);
     core::CityMeshNetwork network{compiled, config};
 
@@ -218,7 +244,7 @@ int main(int argc, char** argv) {
 
     runx::RunResult result;
     result.cells = {profile.name,
-                    std::string{relayx::to_string(policy)},
+                    std::string{variant.label},
                     viz::fmt(rate, 1),
                     blackout ? "blackout" : "clear",
                     std::to_string(s.flows_offered),
@@ -258,7 +284,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> frontier;
   const std::size_t per_policy = rates.size() * n_scen;
   for (std::size_t c = 0; c < profiles.size(); ++c) {
-    for (std::size_t p = 1; p < std::size(kPolicies); ++p) {
+    for (std::size_t p = 1; p < std::size(kVariants); ++p) {
       for (std::size_t k = 0; k < per_policy; ++k) {
         const std::size_t flood_i = c * n_points + k;
         const std::size_t policy_i = c * n_points + p * per_policy + k;

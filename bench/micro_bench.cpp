@@ -21,6 +21,7 @@
 #include "graphx/graph.hpp"
 #include "mesh/ap_network.hpp"
 #include "osmx/citygen.hpp"
+#include "qfgeo/qfgeo.hpp"
 #include "relayx/policy.hpp"
 #include "runx/city_cache.hpp"
 #include "runx/engine.hpp"
@@ -173,6 +174,60 @@ static void BM_MessageCompile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MessageCompile);
+
+// ---------------------------------------------------------------- qfgeo ---
+
+// One-time QF-Geo region plan for a cross-town pair: ellipse construction +
+// grid-prefiltered member-set build (src/qfgeo). The qfgeo counterpart of
+// BM_MessageCompile — paid once per distinct message, amortized over every
+// reception.
+static void BM_QfgeoRegionPlan(benchmark::State& state) {
+  const auto& map = boston_map();
+  const geo::Point src = map.centroid(0);
+  const geo::Point dst = map.centroid(
+      static_cast<core::BuildingId>(map.building_count() - 1));
+  std::size_t members = 0;
+  for (auto _ : state) {
+    const auto region = citymesh::qfgeo::make_region(src, dst, {});
+    const auto set = citymesh::qfgeo::region_members(region, map.centroid_grid());
+    members = set.size();
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetLabel(std::to_string(members) + " member buildings");
+}
+BENCHMARK(BM_QfgeoRegionPlan);
+
+// The per-reception in-region membership check under protocol=qfgeo: same
+// one-hash-lookup collapse as BM_RebroadcastDecisionCompiled, against the
+// ellipse member set instead of the conduit corridor.
+static void BM_QfgeoMembershipCheck(benchmark::State& state) {
+  const auto& map = boston_map();
+  wire::PacketHeader h = typical_header();
+  h.waypoints = {0, static_cast<core::BuildingId>(map.building_count() - 1)};
+  const core::CompiledMessage msg = core::compile_message_qfgeo(h, map, {});
+  const auto building = static_cast<core::BuildingId>(map.building_count() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.conduit_member(building));
+  }
+  state.SetLabel(std::to_string(msg.members.size()) + " member buildings");
+}
+BENCHMARK(BM_QfgeoMembershipCheck);
+
+// The greedy next-hop election entry: the pure-arithmetic delay every
+// in-region progress-making receiver computes per reception (no RNG, no
+// allocation — it must stay in the ns regime like the flood elect).
+static void BM_QfgeoForwardDelay(benchmark::State& state) {
+  const citymesh::qfgeo::ForwarderConfig config;
+  double my = 480.0;
+  std::size_t queued = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        citymesh::qfgeo::forward_delay(config, my, 500.0, queued));
+    my = my > 460.0 ? my - 1.0 : 480.0;
+    queued = (queued + 1) % 4;
+  }
+}
+BENCHMARK(BM_QfgeoForwardDelay);
 
 // --------------------------------------------------------------- relayx ---
 

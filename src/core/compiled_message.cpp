@@ -76,6 +76,56 @@ CompiledMessage compile_message(const wire::PacketHeader& header,
   return msg;
 }
 
+CompiledMessage compile_message_qfgeo(const wire::PacketHeader& header,
+                                      const BuildingGraph& map,
+                                      const qfgeo::RegionConfig& region) {
+  CompiledMessage msg;
+  msg.header = header;
+
+  // Same validation ladder as the conduit compile: a corrupt width is a
+  // counted malformed drop, and stale/foreign-map waypoints deliver by
+  // exact building match only.
+  if (header.conduit_width_m <= 0.0) {
+    msg.malformed = true;
+    return msg;
+  }
+  msg.waypoints_valid = !header.waypoints.empty();
+  for (const BuildingId wp : header.waypoints) {
+    if (wp >= map.building_count()) {
+      msg.waypoints_valid = false;
+      break;
+    }
+  }
+
+  // The forwarding region: an ellipse between the source and destination
+  // waypoints' centroids (acks reverse the waypoints; the ellipse is
+  // symmetric, so both directions share one region). Membership is the
+  // same grid-prefilter-then-exact-predicate shape as the conduit compile,
+  // so the per-reception predicate stays one hash lookup.
+  if (msg.waypoints_valid) {
+    const qfgeo::Region shape = qfgeo::make_region(
+        map.centroid(header.waypoints.front()),
+        map.centroid(header.waypoints.back()), region);
+    msg.members = qfgeo::region_members(shape, map.centroid_grid());
+  }
+
+  // Geo-broadcast disc membership, identical to the conduit compile.
+  if (msg.header.has_flag(wire::PacketFlag::kBroadcast) && !header.waypoints.empty()) {
+    const BuildingId center = header.waypoints.back();
+    if (center < map.building_count()) {
+      const geo::Point c = map.centroid(center);
+      const auto radius = static_cast<double>(header.broadcast_radius_m);
+      for (const std::uint32_t b :
+           map.centroid_grid().query_radius(c, radius + kBoundsMargin)) {
+        if (geo::distance(map.centroid(b), c) <= radius) {
+          msg.broadcast_members.insert(b);
+        }
+      }
+    }
+  }
+  return msg;
+}
+
 MessageCompiler::MessageCompiler(const BuildingGraph& map) : map_(&map) {
   header_decodes_ = &own_.counter("header_decodes");
   msg_compiles_ = &own_.counter("msg_compiles");
@@ -114,7 +164,9 @@ std::shared_ptr<const CompiledMessage> MessageCompiler::compile(
     if (it->second->header == header) return it->second;
   }
   msg_compiles_->inc();
-  auto compiled = std::make_shared<const CompiledMessage>(compile_message(header, *map_));
+  auto compiled = std::make_shared<const CompiledMessage>(
+      qfgeo_ ? compile_message_qfgeo(header, *map_, *qfgeo_)
+             : compile_message(header, *map_));
   if (memo_.size() >= kMemoCap) memo_.clear();
   memo_[header.message_id] = compiled;
   return compiled;

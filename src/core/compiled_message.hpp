@@ -47,9 +47,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <optional>
+
 #include "core/building_graph.hpp"
 #include "core/conduit.hpp"
 #include "obsx/metrics.hpp"
+#include "qfgeo/qfgeo.hpp"
 #include "wire/packet.hpp"
 
 namespace citymesh::core {
@@ -86,6 +89,17 @@ struct CompiledMessage {
 CompiledMessage compile_message(const wire::PacketHeader& header,
                                 const BuildingGraph& map);
 
+/// QF-Geo variant (src/qfgeo): `members` becomes the bounded forwarding
+/// region — buildings whose centroid lies inside the ellipse between the
+/// first and last waypoint's centroids — instead of the conduit corridor.
+/// No ConduitPath is reconstructed (path stays empty); malformed/waypoint
+/// validation and geo-broadcast disc membership are identical to the
+/// conduit compile. Pure: equals brute-force Region::contains(centroid(b))
+/// over every building b.
+CompiledMessage compile_message_qfgeo(const wire::PacketHeader& header,
+                                      const BuildingGraph& map,
+                                      const qfgeo::RegionConfig& region);
+
 /// Per-network compile service: decodes, compiles, memoizes by message id,
 /// and counts. Not thread-safe — one per CityMeshNetwork (runx workers each
 /// own their network and therefore their compiler; only the immutable
@@ -104,6 +118,16 @@ class MessageCompiler {
   /// just built, no bytes round-trip needed beyond the one compile_bytes
   /// performs). Memoized by message id with full-header verification.
   std::shared_ptr<const CompiledMessage> compile(const wire::PacketHeader& header);
+
+  /// Switch this compiler to QF-Geo membership (src/qfgeo): every compile
+  /// computes the bounded-region member set instead of the conduit one.
+  /// Set once at network construction, before any compile — the memo is
+  /// cleared so no conduit-shaped entry can leak into qfgeo lookups.
+  void set_qfgeo(const qfgeo::RegionConfig& region) {
+    qfgeo_ = region;
+    memo_.clear();
+  }
+  bool qfgeo_enabled() const { return qfgeo_.has_value(); }
 
   /// One hash-set membership test happened (hot-path tally, inlined cheap).
   void count_membership_lookup() { membership_lookups_->inc(); }
@@ -134,6 +158,8 @@ class MessageCompiler {
   static constexpr std::size_t kMemoCap = 1u << 16;
 
   const BuildingGraph* map_;
+  /// Engaged = compile with QF-Geo bounded-region membership.
+  std::optional<qfgeo::RegionConfig> qfgeo_;
   std::unordered_map<std::uint32_t, std::shared_ptr<const CompiledMessage>> memo_;
   obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()
   obsx::MetricsRegistry* registry_ = &own_;  ///< where the counters live now

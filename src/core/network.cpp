@@ -10,6 +10,20 @@
 
 namespace citymesh::core {
 
+std::string_view to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kConduit: return "conduit";
+    case Protocol::kQfgeo: return "qfgeo";
+  }
+  return "?";
+}
+
+std::optional<Protocol> protocol_from(std::string_view name) {
+  if (name == "conduit") return Protocol::kConduit;
+  if (name == "qfgeo") return Protocol::kQfgeo;
+  return std::nullopt;
+}
+
 std::size_t CityMeshNetwork::trace_capacity_for(const NetworkConfig& config,
                                                 std::size_t ap_count) {
   if (config.trace_capacity != 0) return config.trace_capacity;
@@ -37,6 +51,11 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
       trace_(trace_capacity_for(config_, compiled_->aps.ap_count())),
       ap_status_(compiled_->aps.ap_count(), ApStatus::kUp),
       aps_up_(compiled_->aps.ap_count()) {
+  // QF-Geo mode swaps the compile-once membership machinery to the bounded
+  // forwarding region, before any message compiles (src/qfgeo).
+  if (config_.protocol == Protocol::kQfgeo) {
+    compiler_.set_qfgeo(config_.qfgeo_region);
+  }
   agents_.reserve(aps().ap_count());
   for (const auto& ap : aps().aps()) {
     agents_.emplace_back(ap.id, ap.position, ap.building, compiled_->map, &compiler_);
@@ -106,6 +125,15 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
       &metrics_.histogram("net.tx_per_delivery", obsx::exponential_buckets(1.0, 2.0, 12));
 
   if (tiled) {
+    // Key-set parity with K = 1: the coordinator registry carries the
+    // qfgeo.* keys (idle, like the idle relayx policy above) so merged
+    // manifests serialize the same key set for every shard count.
+    if (config_.protocol == Protocol::kQfgeo) {
+      for (const char* key : {"qfgeo.candidates", "qfgeo.fired", "qfgeo.cancelled",
+                              "qfgeo.no_progress", "qfgeo.fallback_floods"}) {
+        metrics_.counter(key);
+      }
+    }
     build_tiles();
   } else {
     // The single legacy shard aliases the network singletons; `direct`
@@ -130,8 +158,21 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
     s->medium_blocked_receptions = &metrics_.counter("medium.blocked_receptions");
     s->medium_losses = &metrics_.counter("medium.losses");
     s->h_latency = latency_hist;
+    bind_qfgeo_counters(*s, metrics_);
     shards_.push_back(std::move(s));
   }
+}
+
+void CityMeshNetwork::bind_qfgeo_counters(Shard& shard, obsx::MetricsRegistry& registry) {
+  // Registered only under Protocol::kQfgeo, following the relayx precedent:
+  // snapshot() serializes every registered counter, and conduit manifests
+  // must stay byte-identical to the pre-qfgeo pipeline (golden digest gate).
+  if (config_.protocol != Protocol::kQfgeo) return;
+  shard.qf_candidates = &registry.counter("qfgeo.candidates");
+  shard.qf_fired = &registry.counter("qfgeo.fired");
+  shard.qf_cancelled = &registry.counter("qfgeo.cancelled");
+  shard.qf_no_progress = &registry.counter("qfgeo.no_progress");
+  shard.qf_fallback_floods = &registry.counter("qfgeo.fallback_floods");
 }
 
 relayx::PolicyConfig CityMeshNetwork::resolved_relay_config() const {
@@ -244,6 +285,10 @@ void CityMeshNetwork::build_tiles() {
     s->medium_deliveries = &s->metrics->counter("medium.deliveries");
     s->medium_blocked_receptions = &s->metrics->counter("medium.blocked_receptions");
     s->medium_losses = &s->metrics->counter("medium.losses");
+    if (config_.protocol == Protocol::kQfgeo) {
+      s->own_compiler->set_qfgeo(config_.qfgeo_region);
+    }
+    bind_qfgeo_counters(*s, *s->metrics);
     shards_.push_back(std::move(s));
   }
   for (const auto& ap : aps().aps()) {
@@ -441,8 +486,26 @@ void CityMeshNetwork::handle_delivery(Shard& s, sim::NodeId to, sim::NodeId from
       const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
       if (const auto it = s.pending.find(key); it != s.pending.end()) {
         ++it->second.overheard;
-        if (s.policy->cancel_on_overhear({to, from, action.message_id, now},
-                                         it->second.overheard)) {
+        bool cancel;
+        if (it->second.greedy) {
+          // QF-Geo positional overhear-cancel: a transmitter at least as
+          // close to the destination just covered this copy's progress, so
+          // the pending forward is redundant. AP positions are immutable,
+          // so the test is shard-safe and draw-free.
+          const CompiledMessage* msg = packet->compiled.get();
+          cancel = true;  // unattributable duplicate: yield conservatively
+          if (msg != nullptr && !msg->header.waypoints.empty()) {
+            const geo::Point dst =
+                compiled_->map.centroid(msg->header.waypoints.back());
+            cancel = geo::distance(agents_[from].position(), dst) <=
+                     geo::distance(agents_[to].position(), dst);
+          }
+          if (cancel && s.qf_cancelled != nullptr) s.qf_cancelled->inc();
+        } else {
+          cancel = s.policy->cancel_on_overhear({to, from, action.message_id, now},
+                                                it->second.overheard);
+        }
+        if (cancel) {
           s.sim->cancel(it->second.event);
           s.pending.erase(it);
           s.n_suppression_cancelled->inc();
@@ -511,34 +574,113 @@ void CityMeshNetwork::handle_delivery(Shard& s, sim::NodeId to, sim::NodeId from
   if (action.rebroadcast) {
     s.n_rebroadcasts->inc();
     s.trace->record(obsx::TraceKind::kRebroadcast, now, node, action.message_id);
-    const relayx::Decision decision =
-        s.policy->elect({to, from, action.message_id, now});
-    switch (decision.kind) {
-      case relayx::Decision::Kind::kRelayNow:
-        transmit_counted(s, to, packet);
-        break;
-      case relayx::Decision::Kind::kDelay: {
-        const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
-        s.trace->record(obsx::TraceKind::kElected, now, node, action.message_id);
-        Shard* sp = &s;
-        const auto event =
-            s.sim->schedule_cancelable_in(decision.delay_s, [this, sp, to, packet, key] {
-              sp->pending.erase(key);
-              sp->policy->count_fired();
-              transmit_counted(*sp, to, packet);
-            });
-        s.pending[key] = {event, 0};
-        break;
-      }
-      case relayx::Decision::Kind::kSuppress:
-        s.trace->record(obsx::TraceKind::kSuppressed, now, node,
-                        action.message_id);
-        break;
+    // QF-Geo networks route in-region receptions through the greedy
+    // forwarding election; geo-broadcast floods stay on the policy path
+    // (suppression applies only to flood-mode receptions).
+    if (config_.protocol == Protocol::kQfgeo &&
+        !(action.flags & static_cast<std::uint8_t>(wire::PacketFlag::kBroadcast))) {
+      qfgeo_forward(s, to, from, action, now, packet);
+    } else {
+      policy_relay(s, to, action.message_id, from, now, packet);
     }
   } else {
     s.n_conduit_rejects->inc();
     s.trace->record(obsx::TraceKind::kConduitReject, now, node, action.message_id);
   }
+}
+
+void CityMeshNetwork::policy_relay(Shard& s, mesh::ApId to, std::uint32_t message_id,
+                                   mesh::ApId from, double now,
+                                   const std::shared_ptr<const MeshPacket>& packet) {
+  const auto node = static_cast<std::uint32_t>(to);
+  const relayx::Decision decision = s.policy->elect({to, from, message_id, now});
+  switch (decision.kind) {
+    case relayx::Decision::Kind::kRelayNow:
+      transmit_counted(s, to, packet);
+      break;
+    case relayx::Decision::Kind::kDelay: {
+      const std::uint64_t key = (std::uint64_t{message_id} << 32) | to;
+      s.trace->record(obsx::TraceKind::kElected, now, node, message_id);
+      Shard* sp = &s;
+      const auto event =
+          s.sim->schedule_cancelable_in(decision.delay_s, [this, sp, to, packet, key] {
+            sp->pending.erase(key);
+            sp->policy->count_fired();
+            transmit_counted(*sp, to, packet);
+          });
+      s.pending[key] = {event, 0};
+      break;
+    }
+    case relayx::Decision::Kind::kSuppress:
+      s.trace->record(obsx::TraceKind::kSuppressed, now, node, message_id);
+      break;
+  }
+}
+
+bool CityMeshNetwork::qfgeo_local_minimum(mesh::ApId from, const CompiledMessage& msg,
+                                          geo::Point dst) const {
+  const double from_d = geo::distance(agents_[from].position(), dst);
+  for (const graphx::Edge& edge : aps().graph().neighbors(from)) {
+    const auto n = static_cast<mesh::ApId>(edge.to);
+    if (!ap_up(n)) continue;
+    if (!msg.conduit_member(agents_[n].building())) continue;
+    if (geo::distance(agents_[n].position(), dst) < from_d) return false;
+  }
+  return true;
+}
+
+void CityMeshNetwork::qfgeo_forward(Shard& s, mesh::ApId to, mesh::ApId from,
+                                    const AgentAction& action, double now,
+                                    const std::shared_ptr<const MeshPacket>& packet) {
+  const auto node = static_cast<std::uint32_t>(to);
+  // Network-built packets always carry their compiled message; hand-built
+  // ones compile (memoized) through this shard's service.
+  std::shared_ptr<const CompiledMessage> lazily;
+  const CompiledMessage* msg = packet->compiled.get();
+  if (msg == nullptr) {
+    lazily = s.compiler->compile_bytes(packet->header_bytes);
+    msg = lazily.get();
+  }
+  // action.rebroadcast implies in-region membership, which implies valid,
+  // non-empty waypoints — the destination is always resolvable here.
+  const geo::Point dst = compiled_->map.centroid(msg->header.waypoints.back());
+  const double my_d = geo::distance(agents_[to].position(), dst);
+  const double from_d = geo::distance(agents_[from].position(), dst);
+
+  if (my_d < from_d) {
+    // Positive progress: arm the contention-based greedy election. The
+    // delay is a pure function of (geometry, own queue depth) — no RNG
+    // draws, and the queue is read from this AP's own shard medium — so
+    // tiled runs stay shard-invariant. The closest (least-loaded) receiver
+    // fires first; everyone else cancels on overhearing its copy.
+    const double delay = qfgeo::forward_delay(config_.qfgeo_forward, my_d, from_d,
+                                              s.medium->queued(to));
+    const std::uint64_t key = (std::uint64_t{action.message_id} << 32) | to;
+    s.trace->record(obsx::TraceKind::kElected, now, node, action.message_id);
+    s.qf_candidates->inc();
+    Shard* sp = &s;
+    const auto event = s.sim->schedule_cancelable_in(delay, [this, sp, to, packet, key] {
+      sp->pending.erase(key);
+      sp->qf_fired->inc();
+      transmit_counted(*sp, to, packet);
+    });
+    s.pending[key] = {event, 0, /*greedy=*/true};
+    return;
+  }
+
+  // No progress. If the transmitter is a local minimum — no live in-region
+  // neighbor closer to the destination — greedy is stuck and the region
+  // falls back to a scoped flood: every in-region receiver relays through
+  // the relayx policy (one recovery ring; greedy resumes at any receiver
+  // that makes progress relative to the ring's transmitters). Otherwise
+  // some sibling made progress and this copy dies here.
+  if (qfgeo_local_minimum(from, *msg, dst)) {
+    s.qf_fallback_floods->inc();
+    policy_relay(s, to, action.message_id, from, now, packet);
+    return;
+  }
+  s.qf_no_progress->inc();
+  s.trace->record(obsx::TraceKind::kSuppressed, now, node, action.message_id);
 }
 
 // --- Shard-agnostic run driving (src/shardx) -------------------------------
@@ -821,9 +963,23 @@ SendOutcome CityMeshNetwork::run_send(BuildingId from_building, const PostboxInf
   SendOutcome outcome;
 
   const ConduitConfig conduit{opts.conduit_width.value_or(config_.conduit.width_m)};
-  const RoutePlanner planner{compiled_->map, conduit};
-  const auto route = opts.compress ? planner.plan(from_building, to.building)
-                                   : planner.plan_uncompressed(from_building, to.building);
+  std::optional<PlannedRoute> route;
+  if (config_.protocol == Protocol::kQfgeo) {
+    // Geographic routing plans no route: the header carries only the source
+    // and destination buildings, and the forwarding region is derived from
+    // their centroids at compile time (src/qfgeo). The conduit width rides
+    // along as a valid wire field but scopes nothing.
+    PlannedRoute r;
+    r.buildings = {from_building, to.building};
+    r.waypoints = {from_building, to.building};
+    r.conduit_width_m = conduit.width_m;
+    r.header_bits = route_header_bits(r.waypoints, r.conduit_width_m);
+    route = std::move(r);
+  } else {
+    const RoutePlanner planner{compiled_->map, conduit};
+    route = opts.compress ? planner.plan(from_building, to.building)
+                          : planner.plan_uncompressed(from_building, to.building);
+  }
   if (!route) return outcome;
   outcome.route_found = true;
   outcome.route = *route;
@@ -968,9 +1124,19 @@ InjectResult CityMeshNetwork::inject(BuildingId from_building, const PostboxInfo
   InjectResult result;
 
   const ConduitConfig conduit{opts.conduit_width.value_or(config_.conduit.width_m)};
-  const RoutePlanner planner{compiled_->map, conduit};
-  const auto route = opts.compress ? planner.plan(from_building, to.building)
-                                   : planner.plan_uncompressed(from_building, to.building);
+  std::optional<PlannedRoute> route;
+  if (config_.protocol == Protocol::kQfgeo) {
+    PlannedRoute r;
+    r.buildings = {from_building, to.building};
+    r.waypoints = {from_building, to.building};
+    r.conduit_width_m = conduit.width_m;
+    r.header_bits = route_header_bits(r.waypoints, r.conduit_width_m);
+    route = std::move(r);
+  } else {
+    const RoutePlanner planner{compiled_->map, conduit};
+    route = opts.compress ? planner.plan(from_building, to.building)
+                          : planner.plan_uncompressed(from_building, to.building);
+  }
   if (!route) return result;
   result.route_found = true;
 

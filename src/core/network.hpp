@@ -24,7 +24,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/ap_agent.hpp"
@@ -35,6 +37,7 @@
 #include "mesh/ap_network.hpp"
 #include "obsx/metrics.hpp"
 #include "obsx/trace.hpp"
+#include "qfgeo/qfgeo.hpp"
 #include "relayx/policy.hpp"
 #include "shardx/engine.hpp"
 #include "sim/medium.hpp"
@@ -59,6 +62,23 @@ struct DegradedRegion {
   double extra_loss = 0.0;
   bool active = true;
 };
+
+/// The live protocol family a network runs (src/qfgeo is the second one).
+/// kConduit is the paper's conduit-scoped flood — the default, and the
+/// byte-identical legacy code path (golden-digest gated). kQfgeo replaces
+/// route planning with QF-Geo bounded-region greedy forwarding: the header
+/// carries only {source, destination} waypoints, the compiled membership
+/// set becomes the forwarding ellipse, and in-region receivers elect a
+/// forwarder by distance-to-destination with a queue-occupancy penalty,
+/// falling back to a scoped in-region flood at local minima.
+enum class Protocol : std::uint8_t {
+  kConduit,
+  kQfgeo,
+};
+
+/// Canonical CLI/spec name ("conduit", "qfgeo").
+std::string_view to_string(Protocol protocol);
+std::optional<Protocol> protocol_from(std::string_view name);
 
 struct NetworkConfig {
   mesh::PlacementConfig placement;
@@ -98,6 +118,17 @@ struct NetworkConfig {
   /// Live faultx Engine::install is unsupported with shards > 1 (it drives
   /// the legacy simulator); ScenarioEngine::apply_all between runs is fine.
   std::size_t shards = 1;
+
+  /// Which protocol family this network runs. kConduit (default) leaves
+  /// every code path byte-identical to the pre-qfgeo pipeline; kQfgeo
+  /// routes sends/injections through QF-Geo bounded-region forwarding.
+  /// The qfgeo.* counters are registered only under kQfgeo, so conduit
+  /// manifests serialize exactly the legacy key set.
+  Protocol protocol = Protocol::kConduit;
+  /// Forwarding-region shape (kQfgeo only).
+  qfgeo::RegionConfig qfgeo_region;
+  /// Greedy-election timing + capacity penalty (kQfgeo only).
+  qfgeo::ForwarderConfig qfgeo_forward;
 };
 
 /// The immutable "compiled" form of one city: the generated footprints plus
@@ -444,6 +475,10 @@ class CityMeshNetwork {
   struct PendingRelay {
     sim::Simulator::EventId event = sim::Simulator::kInvalidEvent;
     std::uint32_t overheard = 0;
+    /// Armed by the qfgeo greedy election: cancellation is positional (a
+    /// transmitter at least as close to the destination was overheard),
+    /// not policy-judged.
+    bool greedy = false;
   };
 
   /// Shard-local slice of the in-flight send's outcome, merged (and
@@ -504,6 +539,14 @@ class CityMeshNetwork {
     obsx::Counter* medium_losses = nullptr;
     obsx::Histogram* h_latency = nullptr;
 
+    // qfgeo.* counters, registered (and non-null) only when the network
+    // runs Protocol::kQfgeo — conduit manifests keep the legacy key set.
+    obsx::Counter* qf_candidates = nullptr;      ///< greedy forwards armed
+    obsx::Counter* qf_fired = nullptr;           ///< armed forwards that aired
+    obsx::Counter* qf_cancelled = nullptr;       ///< cancelled on overhear
+    obsx::Counter* qf_no_progress = nullptr;     ///< in-region, no progress
+    obsx::Counter* qf_fallback_floods = nullptr; ///< local-minimum recoveries
+
     std::unordered_map<std::uint64_t, PendingRelay> pending;
     ActiveDelta active;
     std::unordered_map<std::uint32_t, FlowDelta> flow_deltas;
@@ -517,6 +560,27 @@ class CityMeshNetwork {
                        const std::shared_ptr<const MeshPacket>& packet);
   void transmit_counted(Shard& shard, mesh::ApId from,
                         const std::shared_ptr<const MeshPacket>& packet);
+  /// The relayx-policy election at the membership-check->rebroadcast point
+  /// (relay now / cancelable backoff / suppress) — the conduit flood path,
+  /// and qfgeo's scoped-flood fallback at local minima.
+  void policy_relay(Shard& shard, mesh::ApId to, std::uint32_t message_id,
+                    mesh::ApId from, double now,
+                    const std::shared_ptr<const MeshPacket>& packet);
+  /// QF-Geo forwarding election for one in-region reception (greedy
+  /// distance-to-destination with capacity penalty; local-minimum scoped
+  /// flood through policy_relay).
+  void qfgeo_forward(Shard& shard, mesh::ApId to, mesh::ApId from,
+                     const AgentAction& action, double now,
+                     const std::shared_ptr<const MeshPacket>& packet);
+  /// Is `from` a QF-Geo local minimum for this message: no live in-region
+  /// neighbor of `from` lies strictly closer to the destination. Static per
+  /// (message, transmitter) — AP positions are immutable and ap_status_
+  /// flips only in coordinator context, so reading it here is shard-safe.
+  bool qfgeo_local_minimum(mesh::ApId from, const CompiledMessage& msg,
+                           geo::Point dst) const;
+  /// Register (or alias) the qfgeo.* counters in `registry` when this
+  /// network runs Protocol::kQfgeo; leaves the pointers null otherwise.
+  void bind_qfgeo_counters(Shard& shard, obsx::MetricsRegistry& registry);
   /// Cancel every pending backoff-delayed rebroadcast (per-send reset).
   void clear_pending_relays();
   void send_ack_from(Shard& shard, mesh::ApId ap);

@@ -76,6 +76,15 @@ bool parse_line(const std::vector<std::string>& parts, SweepSpec& spec) {
     spec.points.push_back(std::move(point));
     return true;
   }
+  if (key == "protocol") {
+    if (parts.size() < 2) return false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const auto proto = core::protocol_from(parts[i]);
+      if (!proto) return false;
+      spec.protocols.push_back(*proto);
+    }
+    return true;
+  }
   return false;
 }
 
@@ -119,18 +128,28 @@ std::vector<RunJob> expand(const SweepSpec& spec) {
       spec.seeds.empty() ? std::vector<std::uint64_t>{1} : spec.seeds;
   const std::vector<SweepPoint> points =
       spec.points.empty() ? std::vector<SweepPoint>{SweepPoint{}} : spec.points;
+  // No protocol line = one pass with the base config's protocol; the labels
+  // stay unprefixed so pre-protocol sweep specs expand byte-identically.
+  const std::size_t protos_n = std::max<std::size_t>(1, spec.protocols.size());
+  const bool prefix_protocol = spec.protocols.size() > 1;
 
   std::vector<RunJob> jobs;
-  jobs.reserve(spec.cities.size() * seeds.size() * points.size());
+  jobs.reserve(spec.cities.size() * seeds.size() * protos_n * points.size());
   for (const std::string& city : spec.cities) {
     for (const std::uint64_t seed : seeds) {
-      for (const SweepPoint& point : points) {
-        RunJob job;
-        job.index = jobs.size();
-        job.city = city;
-        job.seed = seed;
-        job.point = point.label.empty() ? std::string{"eval"} : point.label;
-        jobs.push_back(std::move(job));
+      for (std::size_t p = 0; p < protos_n; ++p) {
+        for (const SweepPoint& point : points) {
+          RunJob job;
+          job.index = jobs.size();
+          job.city = city;
+          job.seed = seed;
+          job.point = point.label.empty() ? std::string{"eval"} : point.label;
+          if (prefix_protocol) {
+            job.point =
+                std::string{core::to_string(spec.protocols[p])} + "/" + job.point;
+          }
+          jobs.push_back(std::move(job));
+        }
       }
     }
   }
@@ -204,14 +223,21 @@ SweepReport run_sweep(const SweepSpec& spec, CityCache& cache,
                       const SweepRunConfig& config) {
   const std::vector<ResolvedPoint> points = resolve_points(spec);
   const std::size_t points_n = points.size();
-  const core::NetworkConfig base = config.network;
+  const core::NetworkConfig config_base = config.network;
 
-  const RunFn fn = [&cache, &points, points_n, base, &spec](const RunJob& job) {
+  const RunFn fn = [&cache, &points, points_n, config_base, &spec](const RunJob& job) {
     // profile_by_name throws for unknown cities -> captured as the row's
     // error by the engine.
     const osmx::CityProfile profile = osmx::profile_by_name(job.city);
-    const auto compiled = cache.get(profile, base);
+    // The cache keys on graph + placement only, so every protocol on the
+    // axis shares the same compiled city.
+    const auto compiled = cache.get(profile, config_base);
     const ResolvedPoint& point = points[job.index % points_n];
+    core::NetworkConfig base = config_base;
+    if (!spec.protocols.empty()) {
+      base.protocol =
+          spec.protocols[(job.index / points_n) % spec.protocols.size()];
+    }
 
     RunResult result;
     switch (point.point.kind) {
@@ -294,6 +320,11 @@ obsx::RunManifest sweep_manifest(const SweepSpec& spec, const SweepReport& repor
   manifest.set_param("deliver", static_cast<std::uint64_t>(spec.deliver));
   manifest.set_param(
       "points", static_cast<std::uint64_t>(std::max<std::size_t>(1, spec.points.size())));
+  // Only multi-protocol sweeps record the axis: single-protocol (and
+  // no-protocol-line) manifests stay byte-identical to the legacy grammar.
+  if (spec.protocols.size() > 1) {
+    manifest.set_param("protocols", static_cast<std::uint64_t>(spec.protocols.size()));
+  }
   manifest.set_param("runs", static_cast<std::uint64_t>(report.jobs.size()));
   manifest.set_param("errors", static_cast<std::uint64_t>(report.errors));
   for (std::size_t i = 0; i < spec.seeds.size(); ++i) {

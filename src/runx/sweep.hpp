@@ -24,8 +24,20 @@
 //   workload FILE   run the trafficx workload (its spec seed replaced by
 //                   the grid seed) and report the capacity summary
 //
+// A `protocol` line turns the live protocol family (core::Protocol:
+// conduit | qfgeo) into a grid axis:
+//
+//   protocol conduit qfgeo
+//
+// Each listed protocol runs the full seed x point grid. With no protocol
+// line the sweep runs the base config's protocol and rows/labels/manifests
+// are byte-identical to the pre-qfgeo grammar; a single-protocol line
+// behaves the same (it only overrides the base config). With two or more,
+// point labels gain a "<protocol>/" prefix so rows stay distinguishable.
+//
 // Expansion order — and therefore merged row order and digest — is
-// city-major, then seed, then point, independent of worker count.
+// city-major, then seed, then protocol, then point, independent of worker
+// count.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +67,8 @@ struct SweepSpec {
   std::size_t pairs = 300;    ///< reachability pairs per run
   std::size_t deliver = 25;   ///< deliverability pairs per run
   std::vector<SweepPoint> points;  ///< empty = one kEval point
+  /// Protocol axis (empty = the base config's protocol, legacy labels).
+  std::vector<core::Protocol> protocols;
 };
 
 /// Parse a sweep spec. On failure returns nullopt and, when `error` is

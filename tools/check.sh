@@ -179,46 +179,75 @@ cmp -s "${smoke_dir}/shard_k2.json" "${smoke_dir}/shard_k4.json" \
   exit 1; }
 echo "check.sh: shardx smoke (tiled-engine digest identity) OK"
 
+# --- qfgeo smoke: the fig12 conduit-vs-QF-Geo quick grid must emit the same
+# determinism digest no matter how many workers or shards execute it (the
+# bench pins the draw-free regime, so the tiled engine reproduces the
+# sequential one; wall_clock_s makes full-file compares meaningless here,
+# like fig11).
+fig12_digest() { grep -o '"digest": "[0-9a-f]*"' "$1"; }
+"${build_dir}/bench/fig12_baselines" --quick --jobs 1 \
+  --json "${smoke_dir}/fig12_j1.json" >/dev/null || {
+  echo "check.sh: fig12_baselines --quick failed" >&2; exit 1; }
+"${build_dir}/bench/fig12_baselines" --quick --jobs 4 \
+  --json "${smoke_dir}/fig12_j4.json" >/dev/null
+"${build_dir}/bench/fig12_baselines" --quick --jobs 4 --shards 4 \
+  --json "${smoke_dir}/fig12_k4.json" >/dev/null || {
+  echo "check.sh: fig12_baselines --shards 4 failed" >&2; exit 1; }
+[ -n "$(fig12_digest "${smoke_dir}/fig12_j1.json")" ] || {
+  echo "check.sh: fig12 manifest missing digest" >&2; exit 1; }
+for v in j4 k4; do
+  [ "$(fig12_digest "${smoke_dir}/fig12_${v}.json")" = \
+    "$(fig12_digest "${smoke_dir}/fig12_j1.json")" ] || {
+    echo "check.sh: fig12 digest differs at variant ${v}" >&2; exit 1; }
+done
+echo "check.sh: qfgeo smoke (fig12 digest identical across --jobs/--shards) OK"
+
 # --- The obsx buffer/JSONL code is pointer-heavy, the trafficx runner
 # threads raw pointers through scheduled closures, the medium fans shared
 # immutable packets through queues and backoff closures, and the compiled-
 # message layer shares read-only CompiledMessages across receptions, and the
-# relayx policies keep per-AP state the backoff closures point into, and the
-# shardx tiles hand shared immutable packets across thread boundaries; run
-# all six suites under ASan+UBSan in a separate tree (skipped if that tree's
-# configure fails, e.g. no sanitizer runtime on minimal images).
+# relayx policies keep per-AP state the backoff closures point into, the
+# shardx tiles hand shared immutable packets across thread boundaries, and
+# the qfgeo election timers capture per-reception state into medium
+# closures; run all seven suites under ASan+UBSan in a separate tree
+# (skipped if that tree's configure fails, e.g. no sanitizer runtime on
+# minimal images).
 san_dir="${build_dir}-asan"
 if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; then
   cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_obsx --target test_trafficx --target test_sim \
-    --target test_compiled --target test_relayx --target test_shardx
+    --target test_compiled --target test_relayx --target test_shardx \
+    --target test_qfgeo
   "${san_dir}/tests/test_obsx"
   "${san_dir}/tests/test_trafficx"
   "${san_dir}/tests/test_sim"
   "${san_dir}/tests/test_compiled"
   "${san_dir}/tests/test_relayx"
   "${san_dir}/tests/test_shardx"
-  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx + test_shardx clean under ASan+UBSan"
+  "${san_dir}/tests/test_qfgeo"
+  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
 fi
 
 # --- The runx engine shares compiled cities across worker threads, the
 # compile-once refactor additionally shares immutable CompiledMessages, and
-# the shardx worker pool runs tile simulators concurrently inside one run;
+# the shardx worker pool runs tile simulators concurrently inside one run,
+# and the qfgeo sweep tests drive the protocol axis across worker threads;
 # run those tests (plus the event engine they drive) under TSan in a third
 # tree to catch data races the determinism digest can't see.
 tsan_dir="${build_dir}-tsan"
 if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/null; then
   cmake --build "${tsan_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_runx --target test_sim --target test_compiled \
-    --target test_relayx --target test_shardx
+    --target test_relayx --target test_shardx --target test_qfgeo
   "${tsan_dir}/tests/test_runx"
   "${tsan_dir}/tests/test_sim"
   "${tsan_dir}/tests/test_compiled"
   "${tsan_dir}/tests/test_relayx"
   "${tsan_dir}/tests/test_shardx"
-  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx + test_shardx clean under TSan"
+  "${tsan_dir}/tests/test_qfgeo"
+  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo clean under TSan"
 else
   echo "check.sh: TSan configure failed; skipping thread-sanitizer pass" >&2
 fi

@@ -22,6 +22,9 @@
 //   --suppression         enable same-building rebroadcast suppression
 //   --policy NAME         rebroadcast policy: flood (default),
 //                         building-backoff, counter-gossip, etx-priority
+//   --protocol NAME       live protocol family: conduit (default, the
+//                         paper's corridor flood) or qfgeo (capacity-aware
+//                         bounded-region greedy forwarding, src/qfgeo)
 //   --shadowed            use the shadowed link model instead of the disc
 //   --osm FILE            load an OSM XML extract instead of a profile
 //
@@ -108,6 +111,7 @@ struct Options {
   std::uint64_t seed = 1;
   bool suppression = false;
   std::string policy;  // relayx policy name; empty = flood (paper default)
+  std::string protocol;  // core protocol name; empty = conduit (paper default)
   bool shadowed = false;
   std::string osm_file;
   std::string spec_file;
@@ -140,7 +144,8 @@ int usage() {
       "  sweep <spec-file>          run an experiment sweep grid (runx)\n"
       "  trace <file.jsonl>         validate / summarize / filter a trace\n"
       "options: --range M --density M2 --width M --pairs N --deliver N\n"
-      "         --seed N --suppression --policy NAME --shadowed --osm FILE\n"
+      "         --seed N --suppression --policy NAME --protocol NAME\n"
+      "         --shadowed --osm FILE\n"
       "         --spec FILE --svg FILE (scenario)\n"
       "         --spec FILE --scenario FILE --bitrate BPS --queue N\n"
       "         --json FILE (load)\n"
@@ -204,6 +209,13 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
         return std::nullopt;
       }
       opts.policy = *v;
+    } else if (arg == "--protocol") {
+      const auto v = next();
+      if (!v || !core::protocol_from(*v)) {
+        std::cerr << "--protocol must be one of conduit, qfgeo\n";
+        return std::nullopt;
+      }
+      opts.protocol = *v;
     } else if (arg == "--shadowed") {
       opts.shadowed = true;
     } else if (arg == "--osm") {
@@ -308,6 +320,9 @@ core::NetworkConfig network_config(const Options& opts) {
   if (opts.jitter_s) cfg.medium.jitter_s = *opts.jitter_s;
   if (!opts.policy.empty()) {
     cfg.relay.kind = *relayx::policy_kind_from(opts.policy);
+  }
+  if (!opts.protocol.empty()) {
+    cfg.protocol = *core::protocol_from(opts.protocol);
   }
   return cfg;
 }
