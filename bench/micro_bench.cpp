@@ -12,6 +12,7 @@
 #include "core/building_graph.hpp"
 #include "core/compiled_message.hpp"
 #include "core/conduit.hpp"
+#include "core/packet_pool.hpp"
 #include "core/route_planner.hpp"
 #include "cryptox/chacha20.hpp"
 #include "cryptox/sealed.hpp"
@@ -34,6 +35,7 @@
 namespace core = citymesh::core;
 namespace osmx = citymesh::osmx;
 namespace geo = citymesh::geo;
+namespace graphx = citymesh::graphx;
 namespace wire = citymesh::wire;
 namespace cryptox = citymesh::cryptox;
 
@@ -360,6 +362,93 @@ static void BM_EventEngineThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventEngineThroughput)->Unit(benchmark::kMillisecond);
+
+// Hold model (the classic calendar-queue benchmark): keep N events pending
+// and repeatedly pop-then-push, so cost per operation is measured at a
+// steady queue depth. Arg is the pending-set size; one run per scheduler
+// kind at 10^3..10^6 shows where the heap's log N starts to bite.
+static void BM_SchedulerHold(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? citymesh::sim::SchedulerKind::kHeap
+                                        : citymesh::sim::SchedulerKind::kCalendar;
+  const std::size_t pending = static_cast<std::size_t>(state.range(1));
+  citymesh::sim::EventQueue q{kind};
+  geo::Rng rng{7};
+  double now = 0.0;
+  std::uint64_t seq = 0;
+  const double window = 2.0 / static_cast<double>(pending);
+  // Prime at the equilibrium distribution (all pending within one recycling
+  // window) and run one warmup lap outside the timing loop, so the measured
+  // cost is the steady state, not the adaptive width converging.
+  for (std::size_t i = 0; i < pending; ++i)
+    q.push({rng.uniform(0.0, window), seq++, nullptr, citymesh::sim::InlineFn{}});
+  const auto hold_op = [&] {
+    citymesh::sim::EventRecord ev = q.pop();
+    now = ev.time;
+    ev.time = now + rng.uniform(0.0, window) + 1e-6;
+    ev.seq = seq++;
+    q.push(std::move(ev));
+  };
+  for (std::size_t i = 0; i < pending; ++i) hold_op();
+  for (auto _ : state) hold_op();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string{citymesh::sim::to_string(kind)});
+}
+BENCHMARK(BM_SchedulerHold)
+    ->ArgsProduct({{0, 1}, {1'000, 10'000, 100'000, 1'000'000}});
+
+// Packet materialization: the pooled allocate_shared path each send/ack
+// takes versus the make_shared it replaced.
+static void BM_PacketAlloc(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  citymesh::core::PacketPool pool{1024};
+  const std::vector<std::uint8_t> header(48, 0xab);
+  for (auto _ : state) {
+    std::shared_ptr<const citymesh::core::MeshPacket> p;
+    if (pooled) {
+      p = pool.make(citymesh::core::MeshPacket{header, {}, 1, nullptr});
+    } else {
+      p = std::make_shared<const citymesh::core::MeshPacket>(
+          citymesh::core::MeshPacket{header, {}, 1, nullptr});
+    }
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pooled ? "pooled" : "make_shared");
+}
+BENCHMARK(BM_PacketAlloc)->Arg(0)->Arg(1);
+
+// One broadcast through the medium fan-out: per-reception scheduling versus
+// the batched single-queue-node path, on a degree-~10 star topology.
+static void BM_MediumFanout(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  graphx::GraphBuilder b{11};
+  for (graphx::VertexId v = 1; v <= 10; ++v) b.add_edge(0, v, 30.0 + v);
+  const graphx::Graph topo = b.build();
+  struct P {
+    std::uint32_t id;
+  };
+  for (auto _ : state) {
+    citymesh::sim::Simulator s;
+    citymesh::sim::MediumConfig cfg;
+    cfg.jitter_s = 0.0;
+    cfg.batched_delivery = batched;
+    citymesh::sim::BroadcastMedium<P> medium{s, topo, cfg};
+    std::size_t seen = 0;
+    medium.set_delivery_handler(
+        [&seen](citymesh::sim::NodeId, citymesh::sim::NodeId,
+                const std::shared_ptr<const P>&) { ++seen; });
+    const auto packet = std::make_shared<const P>(P{1});
+    for (int i = 0; i < 100; ++i) {
+      s.schedule_at(static_cast<double>(i) * 1e-3,
+                    [&medium, packet] { medium.transmit(0, packet); });
+    }
+    s.run();
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // 100 tx x 10 receptions
+  state.SetLabel(batched ? "batched" : "per-reception");
+}
+BENCHMARK(BM_MediumFanout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // --------------------------------------------------------------- shardx ---
 

@@ -33,6 +33,7 @@
 #include "core/building_graph.hpp"
 #include "core/compiled_message.hpp"
 #include "core/postbox.hpp"
+#include "core/packet_pool.hpp"
 #include "core/route_planner.hpp"
 #include "mesh/ap_network.hpp"
 #include "obsx/metrics.hpp"
@@ -125,6 +126,17 @@ struct NetworkConfig {
   /// The qfgeo.* counters are registered only under kQfgeo, so conduit
   /// manifests serialize exactly the legacy key set.
   Protocol protocol = Protocol::kConduit;
+
+  /// Event-queue implementation for this network's simulator(s) — the
+  /// coordinator loop and every shard loop. Both kinds realize the identical
+  /// (time, seq) total order (sim/scheduler.hpp), so this knob trades queue
+  /// cost only; digests never move.
+  sim::SchedulerKind scheduler = sim::kDefaultScheduler;
+  /// Allocate MeshPackets from a fixed-size pool (core/packet_pool.hpp)
+  /// instead of make_shared. Exhaustion falls back to the heap, counted.
+  bool pooled_packets = true;
+  std::size_t packet_pool_capacity = 4096;
+
   /// Forwarding-region shape (kQfgeo only).
   qfgeo::RegionConfig qfgeo_region;
   /// Greedy-election timing + capacity penalty (kQfgeo only).
@@ -612,10 +624,34 @@ class CityMeshNetwork {
   static std::size_t trace_capacity_for(const NetworkConfig& config,
                                         std::size_t ap_count);
 
+  /// Materialize a packet from the pool (or the heap when pooling is off).
+  /// Thread-safe: the tiled ack path builds packets on worker threads.
+  std::shared_ptr<const MeshPacket> make_packet(MeshPacket&& fields) const {
+    if (packet_pool_ != nullptr) return packet_pool_->make(std::move(fields));
+    return std::make_shared<const MeshPacket>(std::move(fields));
+  }
+
   std::shared_ptr<const CompiledCity> compiled_;
   NetworkConfig config_;
+  /// Resumable-Dijkstra cache shared by every planner this network builds
+  /// (the member planner_ and the per-send/inject locals) — route planning
+  /// is coordinator-thread-only, so one unlocked cache serves them all.
+  SptCache spt_cache_;
   RoutePlanner planner_;
   MessageCompiler compiler_;  ///< declared before agents_, which point at it
+  /// Declared before sim_/medium_/shards_: packets it allocated live in
+  /// their queues, and the shared_ptr deleters return blocks to this pool,
+  /// so it must be destroyed last. Null when config.pooled_packets is off.
+  std::unique_ptr<PacketPool> packet_pool_;
+#ifdef CITYMESH_POOL_STATS
+  // Allocator counters (compiled in by -DCITYMESH_POOL_STATS=ON only: the
+  // extra registered keys would otherwise change every run manifest).
+  // Refreshed from the pool's live stats on merged_metrics().
+  obsx::Counter* pool_packet_acquires_ = nullptr;
+  obsx::Counter* pool_packet_fallbacks_ = nullptr;
+  obsx::Counter* pool_packet_peak_in_use_ = nullptr;
+  obsx::Counter* pool_inline_fn_heap_fallbacks_ = nullptr;
+#endif
   sim::Simulator sim_;
   sim::BroadcastMedium<MeshPacket> medium_;
   std::vector<ApAgent> agents_;

@@ -1,0 +1,45 @@
+// Pooled allocation for on-wire packets.
+//
+// Every send, injection, and ack materializes one shared_ptr<const
+// MeshPacket> that then fans out across the medium (and, in tiled runs,
+// across shard boundaries on worker threads). allocate_shared over a
+// sim::BlockPool turns the per-packet control-block+object heap allocation
+// into a freelist pop; release from any thread is a freelist push behind the
+// pool's spinlock. Exhaustion and oversize requests fall back to the heap,
+// counted in the pool's stats — never an error.
+//
+// The pool must outlive every packet it allocated (the shared_ptr deleter
+// returns the block to it): CityMeshNetwork declares its pool before the
+// simulator, medium, and shards, so it is destroyed after all of them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "core/ap_agent.hpp"
+#include "sim/pool.hpp"
+
+namespace citymesh::core {
+
+class PacketPool {
+ public:
+  /// Headroom over sizeof(MeshPacket) for the shared_ptr control block
+  /// (allocate_shared fuses object + control block into one allocation).
+  static constexpr std::size_t kBlockBytes = sizeof(MeshPacket) + 64;
+
+  explicit PacketPool(std::size_t capacity) : pool_(kBlockBytes, capacity) {}
+
+  /// Allocate a packet from the pool (heap fallback when exhausted).
+  std::shared_ptr<const MeshPacket> make(MeshPacket&& fields) {
+    return std::allocate_shared<MeshPacket>(sim::PoolAllocator<MeshPacket>(&pool_),
+                                            std::move(fields));
+  }
+
+  sim::PoolStats stats() const { return pool_.stats(); }
+
+ private:
+  sim::BlockPool pool_;
+};
+
+}  // namespace citymesh::core

@@ -10,6 +10,28 @@ std::size_t route_header_bits(const std::vector<BuildingId>& waypoints,
   return wire::header_bits(h);
 }
 
+const graphx::ShortestPaths& SptCache::tree(graphx::VertexId from, graphx::VertexId to) {
+  for (Entry& entry : entries_) {
+    if (entry.search->source() == from) {
+      entry.stamp = ++stamp_;
+      ++hits_;
+      return entry.search->ensure(to);
+    }
+  }
+  ++misses_;
+  Entry* slot = nullptr;
+  if (entries_.size() < kCapacity) {
+    slot = &entries_.emplace_back();
+  } else {
+    slot = &entries_.front();
+    for (Entry& entry : entries_)
+      if (entry.stamp < slot->stamp) slot = &entry;
+  }
+  slot->stamp = ++stamp_;
+  slot->search = std::make_unique<graphx::IncrementalDijkstra>(*graph_, from);
+  return slot->search->ensure(to);
+}
+
 std::optional<PlannedRoute> RoutePlanner::plan_impl(BuildingId from, BuildingId to,
                                                     bool compress) const {
   if (from >= map_->building_count() || to >= map_->building_count()) return std::nullopt;
@@ -17,6 +39,11 @@ std::optional<PlannedRoute> RoutePlanner::plan_impl(BuildingId from, BuildingId 
   if (from == to) {
     route.buildings = {from};
     route.waypoints = {from};
+  } else if (cache_ != nullptr) {
+    route.buildings = cache_->tree(from, to).path_to(to);
+    if (route.buildings.empty()) return std::nullopt;
+    route.waypoints = compress ? compress_route(route.buildings, *map_, conduit_)
+                               : route.buildings;
   } else {
     const auto sp = graphx::dijkstra(map_->graph(), from, to);
     route.buildings = sp.path_to(to);

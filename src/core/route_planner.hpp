@@ -6,11 +6,14 @@
 // encodes them into the packet header (wire/packet.hpp).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/building_graph.hpp"
 #include "core/conduit.hpp"
+#include "graphx/shortest_path.hpp"
 #include "wire/packet.hpp"
 
 namespace citymesh::core {
@@ -23,10 +26,53 @@ struct PlannedRoute {
   std::size_t header_bits = 0;
 };
 
+/// Shortest-path cache shared across planners of one network (LRU over
+/// sources). Each entry is a resumable Dijkstra
+/// (graphx::IncrementalDijkstra): a fresh source costs exactly what the old
+/// targeted run cost (the search still stops at the destination), and a
+/// repeated source resumes the same run where it stopped — so traffic
+/// workloads, which plan many routes from downtown-biased sources, stop
+/// re-running Dijkstra from scratch per flow. The tree depends only on the
+/// graph (conduit width affects compression, not Dijkstra), which is why
+/// the cache outlives the per-send RoutePlanner instances. Cached trees
+/// yield bit-identical routes: a resumed run settles the same prefix in the
+/// same order as an independent targeted run, so extracted paths match
+/// exactly (the determinism digests do not move).
+///
+/// Not thread-safe: route planning happens on the coordinator thread only
+/// (like every send/inject entry point).
+class SptCache {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  explicit SptCache(const graphx::Graph& graph) : graph_(&graph) {}
+
+  /// The tree rooted at `from`, settled at least through `to`.
+  const graphx::ShortestPaths& tree(graphx::VertexId from, graphx::VertexId to);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t stamp = 0;  ///< last-use tick for LRU eviction
+    std::unique_ptr<graphx::IncrementalDijkstra> search;
+  };
+
+  const graphx::Graph* graph_;
+  std::vector<Entry> entries_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 class RoutePlanner {
  public:
-  RoutePlanner(const BuildingGraph& map, ConduitConfig conduit)
-      : map_(&map), conduit_(conduit) {}
+  /// `cache` (optional) must be built over `map.graph()` and outlive the
+  /// planner; without one, every plan runs its own targeted Dijkstra.
+  RoutePlanner(const BuildingGraph& map, ConduitConfig conduit,
+               SptCache* cache = nullptr)
+      : map_(&map), conduit_(conduit), cache_(cache) {}
 
   /// Plan a compressed route; nullopt when the building graph predicts no
   /// path (the sender knows immediately that CityMesh cannot help).
@@ -43,6 +89,7 @@ class RoutePlanner {
 
   const BuildingGraph* map_;
   ConduitConfig conduit_;
+  SptCache* cache_;
 };
 
 /// Header-bit accounting for a waypoint list (used by planning and benches).

@@ -26,27 +26,60 @@ ShortestPaths dijkstra(const Graph& g, VertexId source, std::optional<VertexId> 
   sp.parent.resize(n);
   for (VertexId v = 0; v < n; ++v) sp.parent[v] = v;
 
-  using Item = std::pair<double, VertexId>;  // (distance, vertex)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  IndexedMinHeap heap;
+  heap.reset(n, sp.distance.data());
   sp.distance[source] = 0.0;
-  heap.push({0.0, source});
+  heap.update(source);
 
   while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > sp.distance[v]) continue;  // stale entry
+    const VertexId v = heap.pop();  // settled: distance is final
     if (target && v == *target) break;
+    const double d = sp.distance[v];
     for (const Edge& e : g.neighbors(v)) {
       if (e.weight < 0.0) throw std::invalid_argument{"dijkstra: negative edge weight"};
       const double nd = d + e.weight;
       if (nd < sp.distance[e.to]) {
         sp.distance[e.to] = nd;
         sp.parent[e.to] = v;
-        heap.push({nd, e.to});
+        heap.update(e.to);
       }
     }
   }
   return sp;
+}
+
+IncrementalDijkstra::IncrementalDijkstra(const Graph& g, VertexId source)
+    : g_(&g), source_(source) {
+  const std::size_t n = g.vertex_count();
+  sp_.distance.assign(n, kInfiniteDistance);
+  sp_.parent.resize(n);
+  for (VertexId v = 0; v < n; ++v) sp_.parent[v] = v;
+  settled_.assign(n, 0);
+  sp_.distance[source] = 0.0;
+  heap_.reset(n, sp_.distance.data());
+  heap_.update(source);
+}
+
+const ShortestPaths& IncrementalDijkstra::ensure(VertexId target) {
+  if (target < settled_.size() && settled_[target] != 0) return sp_;
+  while (!heap_.empty()) {
+    const VertexId v = heap_.pop();  // settled: distance is final
+    settled_[v] = 1;
+    const double d = sp_.distance[v];
+    // Unlike a targeted dijkstra() we relax the target's own edges before
+    // breaking: the frontier must stay complete for the next ensure().
+    for (const Edge& e : g_->neighbors(v)) {
+      if (e.weight < 0.0) throw std::invalid_argument{"dijkstra: negative edge weight"};
+      const double nd = d + e.weight;
+      if (nd < sp_.distance[e.to]) {
+        sp_.distance[e.to] = nd;
+        sp_.parent[e.to] = v;
+        heap_.update(e.to);
+      }
+    }
+    if (v == target) break;
+  }
+  return sp_;
 }
 
 ShortestPaths bellman_ford(const Graph& g, VertexId source) {

@@ -8,6 +8,7 @@
 
 #include <limits>
 #include <optional>
+#include <queue>
 #include <vector>
 
 #include "graphx/graph.hpp"
@@ -31,6 +32,120 @@ struct ShortestPaths {
 /// If `target` is set, the search stops once the target is settled.
 ShortestPaths dijkstra(const Graph& g, VertexId source,
                        std::optional<VertexId> target = std::nullopt);
+
+/// Indexed 4-ary min-heap over vertex ids, ordered by (distance, vertex) —
+/// the exact comparator the legacy lazy-deletion priority queue realized, so
+/// Dijkstra's settle order (and therefore every parent assignment) is
+/// bit-identical while the heap holds at most one entry per vertex instead
+/// of one per relaxation. 4-ary: shallower than binary and the four children
+/// share a cache line of vertex ids.
+class IndexedMinHeap {
+ public:
+  /// Bind to a distance array (not owned; values may change between calls —
+  /// decrease-key re-sifts on update()). Clears the heap.
+  void reset(std::size_t vertex_count, const double* distance) {
+    dist_ = distance;
+    heap_.clear();
+    pos_.assign(vertex_count, 0);
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Insert `v`, or restore heap order after dist_[v] decreased.
+  void update(VertexId v) {
+    if (pos_[v] == 0) {
+      heap_.push_back(v);
+      pos_[v] = static_cast<std::uint32_t>(heap_.size());
+    }
+    sift_up(pos_[v] - 1);
+  }
+
+  /// Remove and return the minimum (distance, vertex).
+  VertexId pop() {
+    const VertexId top = heap_.front();
+    pos_[top] = 0;
+    const VertexId last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      pos_[last] = 1;
+      sift_down(0);
+    }
+    return top;
+  }
+
+ private:
+  bool before(VertexId a, VertexId b) const {
+    const double da = dist_[a];
+    const double db = dist_[b];
+    if (da != db) return da < db;
+    return a < b;
+  }
+  void sift_up(std::size_t i) {
+    const VertexId v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = static_cast<std::uint32_t>(i + 1);
+      i = parent;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<std::uint32_t>(i + 1);
+  }
+  void sift_down(std::size_t i) {
+    const VertexId v = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = 4 * i + 1;
+      if (best >= n) break;
+      const std::size_t end = std::min(best + 4, n);
+      for (std::size_t c = best + 1; c < end; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      if (!before(heap_[best], v)) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i]] = static_cast<std::uint32_t>(i + 1);
+      i = best;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<std::uint32_t>(i + 1);
+  }
+
+  const double* dist_ = nullptr;
+  std::vector<VertexId> heap_;
+  std::vector<std::uint32_t> pos_;  ///< index + 1 into heap_; 0 = absent
+};
+
+/// Resumable single-source Dijkstra: settles vertices on demand and keeps
+/// the frontier alive between queries, so asking for many targets from one
+/// source costs one (incrementally grown) run instead of one run per
+/// target. The pop/relaxation order is exactly dijkstra()'s — a query
+/// settles precisely the prefix a targeted dijkstra(g, source, target)
+/// would have settled, so extracted paths and distances are bit-identical
+/// to independent targeted runs (route caching relies on this).
+/// The graph must outlive the object and must not change under it.
+class IncrementalDijkstra {
+ public:
+  IncrementalDijkstra(const Graph& g, VertexId source);
+
+  VertexId source() const { return source_; }
+
+  /// Grow the settled region until `target` is settled (or the frontier is
+  /// exhausted, leaving it unreachable). Returns the tree so far; only
+  /// settled vertices have final distances, which is all path_to(target)
+  /// needs.
+  const ShortestPaths& ensure(VertexId target);
+
+  /// The tree as grown so far, without settling anything new.
+  const ShortestPaths& tree() const { return sp_; }
+
+ private:
+  const Graph* g_;
+  VertexId source_;
+  ShortestPaths sp_;
+  std::vector<char> settled_;
+  IndexedMinHeap heap_;  ///< bound to sp_.distance (stable after ctor)
+};
 
 /// Bellman-Ford oracle (O(VE)); throws std::invalid_argument on negative cycles.
 ShortestPaths bellman_ford(const Graph& g, VertexId source);

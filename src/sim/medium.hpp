@@ -46,7 +46,9 @@
 // across all of them, including across runx worker threads.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -112,6 +114,15 @@ struct MediumConfig {
   /// Transmit-queue slots behind the in-flight packet; a transmit arriving
   /// with the queue full is dropped and counted (medium.queue_drops).
   std::size_t tx_queue_capacity = 8;
+
+  /// When true, one broadcast occupies a single queue node (a BatchEvent
+  /// cycling through its receptions in (time, seq) order) instead of one
+  /// node per reception. Sequence numbers are still consumed per reception
+  /// in neighbor order at transmit time, so the global event interleaving —
+  /// and every determinism digest — is identical to the unbatched path;
+  /// only the queue churn (N inserts -> 1 insert + N-1 reinsert-heads) and
+  /// the per-reception closure allocations go away.
+  bool batched_delivery = true;
 
   // --- Shard-invariant link randomness (src/shardx) ----------------------
   /// When true, loss and jitter draw from link_unit() — a content-keyed
@@ -292,6 +303,57 @@ class BroadcastMedium {
   }
 
  private:
+  /// One broadcast's surviving receptions, packed into a single queue
+  /// occupant. fire() delivers the head entry and hands the scheduler the
+  /// next (time, seq) key; after the last entry the batch returns itself to
+  /// the medium's freelist (dropping its packet reference).
+  struct DeliveryBatch final : BatchEvent {
+    struct Entry {
+      SimTime time;
+      std::uint64_t seq;
+      NodeId to;
+    };
+
+    BroadcastMedium* medium = nullptr;
+    NodeId from = 0;
+    std::uint32_t pid = 0;
+    std::shared_ptr<const Packet> packet;
+    std::vector<Entry> entries;
+    std::size_t head = 0;
+
+    BatchFire fire(SimTime) override {
+      const Entry entry = entries[head++];
+      medium->deliver_one(entry.to, from, packet, pid);
+      if (head < entries.size()) {
+        const Entry& next = entries[head];
+        return {true, next.time, next.seq};
+      }
+      medium->release_batch(this);  // self-release: last action on this object
+      return {false, 0.0, 0};
+    }
+  };
+
+  DeliveryBatch* acquire_batch() {
+    if (free_batches_.empty()) {
+      // all_batches_ keeps ownership even while a batch is in flight (its
+      // only other reference is a raw pointer inside the event queue), so
+      // teardown with pending deliveries cannot leak.
+      auto& slot = all_batches_.emplace_back(std::make_unique<DeliveryBatch>());
+      slot->medium = this;
+      free_batches_.push_back(slot.get());
+    }
+    DeliveryBatch* batch = free_batches_.back();
+    free_batches_.pop_back();
+    return batch;
+  }
+
+  void release_batch(DeliveryBatch* batch) {
+    batch->packet.reset();
+    batch->entries.clear();  // keeps capacity for the next broadcast
+    batch->head = 0;
+    free_batches_.push_back(batch);
+  }
+
   /// Per-node transmitter state (contention model only).
   struct TxState {
     SimTime busy_until = 0.0;
@@ -323,6 +385,7 @@ class BroadcastMedium {
     }
     const std::uint32_t txn =
         config_.shard_invariant_rng ? tx_counts_[from]++ : 0;
+    DeliveryBatch* batch = config_.batched_delivery ? acquire_batch() : nullptr;
     for (const graphx::Edge& link : topology_.neighbors(from)) {
       double loss = config_.loss_probability;
       if (link_loss_) {
@@ -348,20 +411,53 @@ class BroadcastMedium {
       }
       const SimTime delay = air + config_.prop_delay_s_per_m * link.weight + jitter;
       const NodeId to = link.to;
-      sim_.schedule_in(delay, [this, to, from, packet, pid] {
-        // Receiver status is sampled at delivery time: a node that went down
-        // while the packet was in flight misses it.
-        if (!node_up(to)) {
-          blocked_receptions_->inc();
-          trace(obsx::TraceKind::kDropFaulted, to, pid, static_cast<std::uint32_t>(from));
-          return;
-        }
-        deliveries_->inc();
-        trace(obsx::TraceKind::kRx, to, pid, static_cast<std::uint32_t>(from));
-        if (deliver_) deliver_(to, from, packet);
-      });
+      if (batch != nullptr) {
+        // Same (time, seq) key and latency recording schedule_in would have
+        // produced; the entry just lives in the batch instead of the queue.
+        const SimTime at = sim_.now() + delay;
+        sim_.record_queue_latency(at - sim_.now());
+        batch->entries.push_back({at, sim_.reserve_seq(), to});
+      } else {
+        sim_.schedule_in(delay, [this, to, from, packet, pid] {
+          deliver_one(to, from, packet, pid);
+        });
+      }
+    }
+    if (batch != nullptr) {
+      if (batch->entries.empty()) {
+        release_batch(batch);
+      } else {
+        batch->from = from;
+        batch->pid = pid;
+        batch->packet = packet;
+        // Neighbor order already sorts seqs ascending; jitter can reorder
+        // times, and delivery must follow the global (time, seq) order.
+        std::sort(batch->entries.begin(), batch->entries.end(),
+                  [](const typename DeliveryBatch::Entry& a,
+                     const typename DeliveryBatch::Entry& b) {
+                    if (a.time != b.time) return a.time < b.time;
+                    return a.seq < b.seq;
+                  });
+        sim_.schedule_batch(batch->entries.front().time, batch->entries.front().seq,
+                            batch);
+      }
     }
     if (remote_fanout_) remote_fanout_(from, packet, air, txn);
+  }
+
+  /// One reception: the exact body the unbatched per-reception closure runs.
+  /// Receiver status is sampled at delivery time: a node that went down
+  /// while the packet was in flight misses it.
+  void deliver_one(NodeId to, NodeId from, const std::shared_ptr<const Packet>& packet,
+                   std::uint32_t pid) {
+    if (!node_up(to)) {
+      blocked_receptions_->inc();
+      trace(obsx::TraceKind::kDropFaulted, to, pid, static_cast<std::uint32_t>(from));
+      return;
+    }
+    deliveries_->inc();
+    trace(obsx::TraceKind::kRx, to, pid, static_cast<std::uint32_t>(from));
+    if (deliver_) deliver_(to, from, packet);
   }
 
   /// The in-flight packet finished serializing: start the next queued one.
@@ -405,6 +501,8 @@ class BroadcastMedium {
   PacketBitsFn packet_bits_;
   TxObserverFn tx_observer_;
   RemoteFanoutFn remote_fanout_;
+  std::vector<std::unique_ptr<DeliveryBatch>> all_batches_;  ///< owns every batch
+  std::vector<DeliveryBatch*> free_batches_;  ///< batches not currently in flight
   std::vector<TxState> tx_state_;  ///< empty when contention is off
   std::vector<std::uint32_t> tx_counts_;  ///< empty unless shard_invariant_rng
   obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()

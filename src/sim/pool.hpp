@@ -1,0 +1,199 @@
+// Fixed-size block pool with a counted heap fallback.
+//
+// The event hot path recycles a few object shapes at very high rates
+// (MeshPacket bodies, shared_ptr control blocks, delivery batches). BlockPool
+// preallocates `capacity` fixed-size slots once and hands them out through a
+// LIFO freelist, so steady-state acquire/release is two pointer moves under a
+// spinlock. Exhaustion and oversized requests fall back to ::operator new —
+// counted, never UB — so capacity is a performance knob, not a correctness
+// bound.
+//
+// Thread safety: acquire/release may race across threads (shardx workers
+// release shared_ptr<const MeshPacket> references on whichever tile thread
+// drops the last reference), so the freelist is guarded by an atomic_flag
+// spinlock. Contention is negligible: the critical section is a few loads
+// and stores.
+//
+// Double-release detection is always on (one byte per slot): releasing a
+// pooled block twice throws std::logic_error instead of corrupting the
+// freelist. Heap-fallback blocks are not tracked (operator delete catches
+// those in sanitizer builds).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+namespace citymesh::sim {
+
+struct PoolStats {
+  std::uint64_t acquires = 0;   ///< total acquire() calls
+  std::uint64_t releases = 0;   ///< total release() calls
+  std::uint64_t fallbacks = 0;  ///< acquires served by the heap
+  std::uint64_t in_use = 0;     ///< live blocks (pooled + fallback)
+  std::uint64_t peak_in_use = 0;
+  std::uint64_t capacity = 0;  ///< preallocated pooled slots
+};
+
+class BlockPool {
+ public:
+  /// Preallocates `capacity` slots of `block_bytes` each (rounded up to
+  /// max_align_t granularity) in one contiguous arena.
+  BlockPool(std::size_t block_bytes, std::size_t capacity)
+      : block_bytes_(round_up(block_bytes)), capacity_(capacity),
+        arena_(block_bytes_ * capacity / sizeof(std::max_align_t) + 1),
+        slot_free_(capacity, 1) {
+    free_.reserve(capacity);
+    // LIFO order: slot 0 is handed out first (warm cache on the first wave).
+    for (std::size_t i = capacity; i > 0; --i)
+      free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  ~BlockPool() = default;  // outstanding fallback blocks are freed by release()
+
+  /// A block of at least `bytes`. Pooled when `bytes` fits a slot and one is
+  /// free; otherwise a counted heap allocation.
+  void* acquire(std::size_t bytes) {
+    if (bytes <= block_bytes_) {
+      lock();
+      ++stats_.acquires;
+      if (!free_.empty()) {
+        const std::uint32_t slot = free_.back();
+        free_.pop_back();
+        slot_free_[slot] = 0;
+        bump_in_use();
+        unlock();
+        return slot_ptr(slot);
+      }
+      ++stats_.fallbacks;
+      bump_in_use();
+      unlock();
+    } else {
+      lock();
+      ++stats_.acquires;
+      ++stats_.fallbacks;
+      bump_in_use();
+      unlock();
+    }
+    return ::operator new(bytes < block_bytes_ ? block_bytes_ : bytes);
+  }
+
+  /// Return a block. Pooled blocks rejoin the freelist; fallback blocks are
+  /// deleted. Throws std::logic_error on a double release of a pooled slot.
+  void release(void* p) {
+    if (p == nullptr) return;
+    if (owns(p)) {
+      const std::uint32_t slot = slot_of(p);
+      lock();
+      if (slot_free_[slot] != 0) {
+        unlock();
+        throw std::logic_error{"BlockPool: double release of a pooled block"};
+      }
+      slot_free_[slot] = 1;
+      free_.push_back(slot);
+      ++stats_.releases;
+      --stats_.in_use;
+      unlock();
+      return;
+    }
+    lock();
+    ++stats_.releases;
+    --stats_.in_use;
+    unlock();
+    ::operator delete(p);
+  }
+
+  bool owns(const void* p) const {
+    const auto* b = static_cast<const unsigned char*>(p);
+    const auto* base = arena_base();
+    return b >= base && b < base + block_bytes_ * capacity_;
+  }
+
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  PoolStats stats() const {
+    const_cast<BlockPool*>(this)->lock();
+    PoolStats s = stats_;
+    const_cast<BlockPool*>(this)->unlock();
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    const std::size_t a = alignof(std::max_align_t);
+    return ((bytes == 0 ? 1 : bytes) + a - 1) / a * a;
+  }
+
+  const unsigned char* arena_base() const {
+    return reinterpret_cast<const unsigned char*>(arena_.data());
+  }
+  unsigned char* arena_base() {
+    return reinterpret_cast<unsigned char*>(arena_.data());
+  }
+  void* slot_ptr(std::uint32_t slot) { return arena_base() + block_bytes_ * slot; }
+  std::uint32_t slot_of(const void* p) const {
+    const auto offset =
+        static_cast<std::size_t>(static_cast<const unsigned char*>(p) - arena_base());
+    return static_cast<std::uint32_t>(offset / block_bytes_);
+  }
+
+  void bump_in_use() {
+    if (++stats_.in_use > stats_.peak_in_use) stats_.peak_in_use = stats_.in_use;
+  }
+
+  void lock() {
+    while (spin_.test_and_set(std::memory_order_acquire)) {
+      // 1-core containers included: yield-free spin is fine, the hold time
+      // is a handful of instructions and contention is rare.
+    }
+  }
+  void unlock() { spin_.clear(std::memory_order_release); }
+
+  std::size_t block_bytes_;
+  std::size_t capacity_;
+  std::vector<std::max_align_t> arena_;      ///< capacity_ * block_bytes_ of storage
+  std::vector<unsigned char> slot_free_;     ///< 1 = in freelist (double-release check)
+  std::vector<std::uint32_t> free_;          ///< LIFO freelist of slot indices
+  std::atomic_flag spin_ = ATOMIC_FLAG_INIT;
+  PoolStats stats_;
+};
+
+/// Minimal std allocator over a BlockPool — used to place shared_ptr control
+/// blocks in a pool (std::shared_ptr<T>(ptr, deleter, PoolAllocator{...})).
+/// The pool must outlive every allocation.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(BlockPool* pool) noexcept : pool_(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) { return static_cast<T*>(pool_->acquire(n * sizeof(T))); }
+  void deallocate(T* p, std::size_t) noexcept { pool_->release(p); }
+
+  BlockPool* pool() const noexcept { return pool_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const noexcept {
+    return pool_ == other.pool();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const noexcept {
+    return pool_ != other.pool();
+  }
+
+ private:
+  BlockPool* pool_;
+};
+
+}  // namespace citymesh::sim

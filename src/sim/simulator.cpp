@@ -2,19 +2,6 @@
 
 namespace citymesh::sim {
 
-void Simulator::schedule_at(SimTime t, Handler fn) {
-  if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
-  if (latency_) latency_->record(t - now_);
-  queue_.push({t, next_seq_++, std::move(fn)});
-}
-
-Simulator::EventId Simulator::schedule_cancelable_at(SimTime t, Handler fn) {
-  const EventId id = next_seq_;
-  schedule_at(t, std::move(fn));
-  cancelable_.insert(id);
-  return id;
-}
-
 bool Simulator::cancel(EventId id) {
   if (cancelable_.erase(id) == 0) {
     ++cancel_misses_;
@@ -31,31 +18,34 @@ void Simulator::advance_to(SimTime t) {
   now_ = t;
 }
 
-void Simulator::schedule_at_unrecorded(SimTime t, Handler fn) {
+void Simulator::schedule_batch(SimTime t, std::uint64_t seq, BatchEvent* batch) {
   if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
-  queue_.push({t, next_seq_++, std::move(fn)});
+  queue_.push({t, seq, batch, InlineFn{}});
 }
 
 std::size_t Simulator::run(SimTime until, std::size_t max_events) {
   std::size_t count = 0;
-  while (!queue_.empty() && count < max_events) {
-    if (queue_.top().time > until) break;
-    // priority_queue::top is const; move out via const_cast is UB-adjacent,
-    // so copy the handler (handlers are small lambdas in practice).
-    Event ev = queue_.top();
-    queue_.pop();
+  while (count < max_events) {
+    const EventRecord* top = queue_.peek();
+    if (top == nullptr || top->time > until) break;
+    // The queue owns its storage, so the pop moves the record out cleanly
+    // (the old std::priority_queue forced a copy through its const top()).
+    EventRecord ev = queue_.pop();
     now_ = ev.time;
-    // A cancelled event advances time and counts like a no-op handler would
-    // have — cancellation changes *what* runs, never the event timeline.
-    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) {
-      ++count;
-      ++processed_;
-      continue;
-    }
-    if (!cancelable_.empty()) cancelable_.erase(ev.seq);
-    ev.fn();
     ++count;
     ++processed_;
+    if (ev.batch != nullptr) {
+      // One reception of a batched transmission; each pop counts as one
+      // processed event, exactly like the unbatched schedule would have.
+      const BatchFire next = ev.batch->fire(now_);
+      if (next.more) queue_.push({next.time, next.seq, ev.batch, InlineFn{}});
+      continue;
+    }
+    // A cancelled event advances time and counts like a no-op handler would
+    // have — cancellation changes *what* runs, never the event timeline.
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
+    if (!cancelable_.empty()) cancelable_.erase(ev.seq);
+    ev.fn();
   }
   if (queue_.empty() && until != kForever && now_ < until) now_ = until;
   return count;

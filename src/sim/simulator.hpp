@@ -1,27 +1,30 @@
 // Discrete-event simulation engine.
 //
-// Replaces the paper's SimPy harness. Events are (time, sequence) ordered in
-// a binary heap; ties break on insertion order, so runs are deterministic for
-// a given seed. The engine knows nothing about radios — the broadcast medium
-// (medium.hpp) and the protocol agents are layered on top.
+// Replaces the paper's SimPy harness. Events are (time, sequence) ordered —
+// ties break on insertion order, so runs are deterministic for a given seed.
+// The pending set lives in an EventQueue (sim/scheduler.hpp): a binary heap
+// or a calendar queue, selected per simulator by SchedulerKind; both realize
+// the identical total order, so the choice never affects behavior or
+// determinism digests. The engine knows nothing about radios — the broadcast
+// medium (medium.hpp) and the protocol agents are layered on top.
+//
+// Handlers are stored inline in the event record (sim/handler.hpp), so
+// scheduling an ordinary closure performs no allocation. The schedule_*
+// entry points are templates accepting any void() callable — std::function
+// still works, it is just no longer required.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 #include <unordered_set>
-#include <vector>
+#include <utility>
 
 #include "obsx/metrics.hpp"
+#include "sim/scheduler.hpp"
 
 namespace citymesh::sim {
-
-/// Simulated time in seconds.
-using SimTime = double;
-
-constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
 
 class Simulator {
  public:
@@ -30,28 +33,46 @@ class Simulator {
   using EventId = std::uint64_t;
   static constexpr EventId kInvalidEvent = std::numeric_limits<EventId>::max();
 
+  explicit Simulator(SchedulerKind scheduler = kDefaultScheduler) : queue_(scheduler) {}
+
   SimTime now() const { return now_; }
+  SchedulerKind scheduler_kind() const { return queue_.kind(); }
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
-  void schedule_at(SimTime t, Handler fn);
+  template <typename F>
+  void schedule_at(SimTime t, F&& fn) {
+    if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
+    if (latency_) latency_->record(t - now_);
+    queue_.push({t, next_seq_++, nullptr, InlineFn(std::forward<F>(fn))});
+  }
 
   /// Schedule `fn` after `delay` seconds (must be >= 0).
-  void schedule_in(SimTime delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void schedule_in(SimTime delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Like schedule_at, but returns a token that cancel() accepts. A
-  /// cancelled event still occupies its heap slot and advances now() when
+  /// cancelled event still occupies its queue slot and advances now() when
   /// popped — identical timing to a handler that no-ops — but its handler is
   /// dropped (backoff timers, src/relayx).
-  EventId schedule_cancelable_at(SimTime t, Handler fn);
-  EventId schedule_cancelable_in(SimTime delay, Handler fn) {
-    return schedule_cancelable_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_cancelable_at(SimTime t, F&& fn) {
+    const EventId id = next_seq_;
+    schedule_at(t, std::forward<F>(fn));
+    cancelable_.insert(id);
+    return id;
+  }
+  template <typename F>
+  EventId schedule_cancelable_in(SimTime delay, F&& fn) {
+    return schedule_cancelable_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Cancel a pending cancelable event. Returns false when the token was
   /// already cancelled, already ran, or never cancelable *here* (e.g. it
   /// belongs to another shard's simulator) — a counted no-op, never UB;
   /// per-shard timer ownership (src/shardx) relies on this. O(1) amortized —
-  /// the heap is not touched; the event is skipped when it surfaces.
+  /// the queue is not touched; the event is skipped when it surfaces.
   bool cancel(EventId id);
 
   /// Cancelable events scheduled and not yet run or cancelled.
@@ -69,7 +90,10 @@ class Simulator {
   /// Earliest pending event time; kForever when the queue is empty. The
   /// shardx window coordinator uses this to skip idle spans instead of
   /// stepping empty lookahead windows.
-  SimTime next_time() const { return queue_.empty() ? kForever : queue_.top().time; }
+  SimTime next_time() const {
+    const EventRecord* top = queue_.peek();
+    return top == nullptr ? kForever : top->time;
+  }
 
   /// Fast-forward to `t` without running anything (window-barrier alignment
   /// across shards). Must not skip events: throws when t > next_time().
@@ -80,7 +104,34 @@ class Simulator {
   /// handoff ingestion records the handoff's true tx->rx latency on the
   /// source shard at creation time, so recording the barrier->arrival
   /// remainder here would double-count.
-  void schedule_at_unrecorded(SimTime t, Handler fn);
+  template <typename F>
+  void schedule_at_unrecorded(SimTime t, F&& fn) {
+    if (t < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
+    queue_.push({t, next_seq_++, nullptr, InlineFn(std::forward<F>(fn))});
+  }
+
+  // --- Batched events (sim/medium.hpp) -----------------------------------
+  // A batched transmission consumes one sequence number per reception at
+  // schedule time — in the exact order the unbatched path would have
+  // scheduled them — then occupies a single queue node keyed by its earliest
+  // entry. The run loop fires one entry per pop and reinserts the batch at
+  // its next (time, seq), so the global event interleaving, sequence
+  // consumption, and now() trajectory are identical to N separate events.
+
+  /// Claim the next sequence number without scheduling anything.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Feed the queue-latency histogram exactly as schedule_at would have
+  /// (batched entries are scheduled out-of-band, but their latency is known
+  /// at creation time like any other event's).
+  void record_queue_latency(SimTime dt) {
+    if (latency_) latency_->record(dt);
+  }
+
+  /// Insert `batch` keyed by its first entry. `seq` must come from
+  /// reserve_seq() and `t` must be >= now(). The batch object must stay
+  /// alive until its fire() returns more == false.
+  void schedule_batch(SimTime t, std::uint64_t seq, BatchEvent* batch);
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
@@ -94,24 +145,12 @@ class Simulator {
   void set_latency_histogram(obsx::Histogram* hist) { latency_ = hist; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    Handler fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   std::uint64_t cancel_misses_ = 0;
   obsx::Histogram* latency_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   // Cancelable-event bookkeeping; both empty unless schedule_cancelable_*
   // is used, so the run loop pays only an empty() branch per event.
   std::unordered_set<EventId> cancelable_;  ///< scheduled, not yet run/cancelled

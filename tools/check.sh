@@ -96,6 +96,16 @@ cmp -s "${repo_root}/tools/golden/fig6_smoke.json" "${smoke_dir}/golden.json" ||
   exit 1; }
 echo "check.sh: golden digest-identity gate OK"
 
+# --- Scheduler gate: the same golden spec through the non-default event
+# queue (--scheduler heap vs the calendar default) must produce the
+# byte-identical manifest — the two queue kinds realize one total order.
+"${cli}" sweep "${repo_root}/tools/golden/fig6_smoke.spec" --jobs 1 \
+  --scheduler heap --json "${smoke_dir}/golden_heap.json" >/dev/null || {
+  echo "check.sh: golden sweep with --scheduler heap failed" >&2; exit 1; }
+cmp -s "${smoke_dir}/golden.json" "${smoke_dir}/golden_heap.json" || {
+  echo "check.sh: golden manifest differs between schedulers" >&2; exit 1; }
+echo "check.sh: scheduler gate (heap == calendar on golden spec) OK"
+
 # --- relayx smoke: the fig11 overhead/deliverability frontier must run its
 # quick grid and produce the same determinism digest across two same-seed
 # runs (the digest folds every policy row, so any nondeterminism in the
@@ -209,7 +219,8 @@ echo "check.sh: qfgeo smoke (fig12 digest identical across --jobs/--shards) OK"
 # relayx policies keep per-AP state the backoff closures point into, the
 # shardx tiles hand shared immutable packets across thread boundaries, and
 # the qfgeo election timers capture per-reception state into medium
-# closures; run all seven suites under ASan+UBSan in a separate tree
+# closures, and the scheduler/pool layer recycles event and packet blocks
+# through freelists; run all eight suites under ASan+UBSan in a separate tree
 # (skipped if that tree's configure fails, e.g. no sanitizer runtime on
 # minimal images).
 san_dir="${build_dir}-asan"
@@ -217,7 +228,7 @@ if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; th
   cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_obsx --target test_trafficx --target test_sim \
     --target test_compiled --target test_relayx --target test_shardx \
-    --target test_qfgeo
+    --target test_qfgeo --target test_scheduler
   "${san_dir}/tests/test_obsx"
   "${san_dir}/tests/test_trafficx"
   "${san_dir}/tests/test_sim"
@@ -225,7 +236,8 @@ if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; th
   "${san_dir}/tests/test_relayx"
   "${san_dir}/tests/test_shardx"
   "${san_dir}/tests/test_qfgeo"
-  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo clean under ASan+UBSan"
+  "${san_dir}/tests/test_scheduler"
+  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo + test_scheduler clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
 fi
@@ -240,14 +252,16 @@ tsan_dir="${build_dir}-tsan"
 if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/null; then
   cmake --build "${tsan_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_runx --target test_sim --target test_compiled \
-    --target test_relayx --target test_shardx --target test_qfgeo
+    --target test_relayx --target test_shardx --target test_qfgeo \
+    --target test_scheduler
   "${tsan_dir}/tests/test_runx"
   "${tsan_dir}/tests/test_sim"
   "${tsan_dir}/tests/test_compiled"
   "${tsan_dir}/tests/test_relayx"
   "${tsan_dir}/tests/test_shardx"
   "${tsan_dir}/tests/test_qfgeo"
-  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo clean under TSan"
+  "${tsan_dir}/tests/test_scheduler"
+  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo + test_scheduler clean under TSan"
 else
   echo "check.sh: TSan configure failed; skipping thread-sanitizer pass" >&2
 fi

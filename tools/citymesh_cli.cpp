@@ -124,6 +124,7 @@ struct Options {
   std::size_t queue_slots = 8;
   std::size_t sweep_jobs = 1;
   std::size_t shards = 1;
+  sim::SchedulerKind scheduler = sim::kDefaultScheduler;
   std::string kind_filter;
   std::optional<std::uint32_t> node_filter;
   std::optional<std::uint32_t> packet_filter;
@@ -151,6 +152,7 @@ int usage() {
       "         --json FILE (load)\n"
       "         --jobs N --json FILE (sweep)\n"
       "         --shards N (tiled parallel engine; 1 = sequential legacy)\n"
+      "         --scheduler heap|calendar (event queue; digests identical)\n"
       "         --jitter S (per-delivery jitter seconds; 0 = draw-free)\n"
       "         --trace FILE (send/scenario/load)\n"
       "         --kind K --node N --packet P (trace)\n";
@@ -257,6 +259,12 @@ std::optional<Options> parse_options(int argc, char** argv, int first) {
       const auto v = next();
       if (!v || !parse_u64(*v, n) || n == 0) return std::nullopt;
       opts.shards = n;
+    } else if (arg == "--scheduler") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      const auto kind = sim::scheduler_from(*v);
+      if (!kind) return std::nullopt;
+      opts.scheduler = *kind;
     } else if (arg == "--svg") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -317,6 +325,7 @@ core::NetworkConfig network_config(const Options& opts) {
   cfg.conduit.width_m = opts.width_m;
   cfg.building_suppression = opts.suppression;
   cfg.shards = opts.shards;
+  cfg.scheduler = opts.scheduler;
   if (opts.jitter_s) cfg.medium.jitter_s = *opts.jitter_s;
   if (!opts.policy.empty()) {
     cfg.relay.kind = *relayx::policy_kind_from(opts.policy);
