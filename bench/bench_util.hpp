@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -77,6 +78,32 @@ class ManifestEmitter {
   obsx::Fnv1a digest_;
   std::string path_;
 };
+
+/// Process memory from /proc/self/status, kiB. vm_hwm_kib is the peak
+/// resident set since process start (monotonic — deltas around a phase give
+/// that phase's *additional* peak); vm_rss_kib is the current resident set.
+/// Both 0 on platforms without procfs (columns then read 0, digests are
+/// unaffected: memory cells never fold into a manifest digest).
+struct MemUsage {
+  std::uint64_t vm_hwm_kib = 0;
+  std::uint64_t vm_rss_kib = 0;
+};
+
+inline MemUsage read_mem_usage() {
+  MemUsage mem;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return mem;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      mem.vm_hwm_kib = std::strtoull(line + 6, nullptr, 10);
+    } else if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      mem.vm_rss_kib = std::strtoull(line + 6, nullptr, 10);
+    }
+  }
+  std::fclose(f);
+  return mem;
+}
 
 /// Strip `--jobs N` / `--jobs=N` from argv the way ManifestEmitter strips
 /// --json, so the bench's own positional arguments stay oblivious. Returns

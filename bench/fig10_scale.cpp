@@ -20,6 +20,16 @@
 // Expected shape: >=2x speedup at 4 shards on >=4 hardware threads for the
 // larger rungs; on fewer cores the speedup column flattens toward 1x while
 // the digest check still bites. `--quick` shrinks the ladder for smoke/CI.
+//
+// Metro-memory columns: every row also reports the process peak RSS
+// (VmHWM), the row's additional peak bytes per AP, and the cumulative
+// barrier idle time (workers waiting for the slowest tile each window).
+// `--tiling grid|adaptive` selects the partitioner (default adaptive);
+// behavioral digests are invariant across modes, so the choice trades
+// barrier idle and wall clock only. VmHWM is monotonic, so on the full
+// ladder only the first row that lifts the process peak shows a nonzero
+// B/AP; `--rung NAME` restricts the ladder to one rung for a clean
+// fresh-process memory measurement of that city size.
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -32,6 +42,7 @@
 #include "bench_util.hpp"
 #include "core/network.hpp"
 #include "osmx/citygen.hpp"
+#include "shardx/tiling.hpp"
 #include "runx/city_cache.hpp"
 #include "trafficx/runner.hpp"
 #include "trafficx/workload.hpp"
@@ -60,7 +71,8 @@ struct Rung {
 constexpr Rung kLadder[] = {{"metro-s", 900, 700},
                             {"metro-m", 1500, 1100},
                             {"metro-l", 2200, 1600},
-                            {"metro-xl", 3000, 2200}};
+                            {"metro-xl", 3000, 2200},
+                            {"metro-xxl", 4200, 3100}};
 constexpr Rung kQuickLadder[] = {{"metro-s", 900, 700}};
 
 osmx::CityProfile rung_profile(const Rung& rung) {
@@ -75,12 +87,14 @@ osmx::CityProfile rung_profile(const Rung& rung) {
 // Draw-free regime: serialization timing is deterministic (finite bitrate,
 // zero jitter), nothing is lost, and the flood policy draws no randomness —
 // so the tiled engine must reproduce the sequential engine event for event.
-core::NetworkConfig network_config(std::size_t shards) {
+core::NetworkConfig network_config(std::size_t shards,
+                                   citymesh::shardx::TilingMode tiling) {
   core::NetworkConfig config;
   config.placement.seed = 7;
   config.placement.density_per_m2 = 1.0 / 60.0;
   config.seed = 99;
   config.shards = shards;
+  config.tiling = tiling;
   config.medium.bitrate_bps = kBitrateBps;
   config.medium.jitter_s = 0.0;
   config.medium.loss_probability = 0.0;
@@ -101,24 +115,61 @@ trafficx::WorkloadSpec workload_spec(double duration_s) {
 int main(int argc, char** argv) {
   citymesh::benchutil::ManifestEmitter emit{"fig10_scale", argc, argv};
   bool quick = false;
+  // Adaptive (event-rate-balanced) tiling is the default; --tiling grid
+  // selects the uniform centroid grid. The behavioral digest is invariant
+  // across modes — check.sh pins that by diffing the two.
+  citymesh::shardx::TilingMode tiling = citymesh::shardx::TilingMode::kAdaptive;
+  const char* tiling_name = "adaptive";
+  const char* rung_filter = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--rung") == 0 && i + 1 < argc) {
+      rung_filter = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--tiling") == 0 && i + 1 < argc) {
+      if (std::strcmp(argv[i + 1], "grid") == 0) {
+        tiling = citymesh::shardx::TilingMode::kGrid;
+        tiling_name = "grid";
+      } else if (std::strcmp(argv[i + 1], "adaptive") == 0) {
+        tiling = citymesh::shardx::TilingMode::kAdaptive;
+        tiling_name = "adaptive";
+      } else {
+        std::cerr << "fig10_scale: unknown --tiling mode '" << argv[i + 1]
+                  << "' (grid|adaptive)\n";
+        return 2;
+      }
+    }
   }
   const double duration_s = quick ? kQuickDurationS : kDurationS;
-  const std::span<const Rung> ladder =
-      quick ? std::span<const Rung>{kQuickLadder} : std::span<const Rung>{kLadder};
+  std::vector<Rung> ladder;
+  for (const Rung& rung :
+       quick ? std::span<const Rung>{kQuickLadder} : std::span<const Rung>{kLadder}) {
+    if (rung_filter == nullptr || std::strcmp(rung.name, rung_filter) == 0) {
+      ladder.push_back(rung);
+    }
+  }
+  if (ladder.empty()) {
+    std::cerr << "fig10_scale: --rung '" << rung_filter
+              << "' matches no ladder rung\n";
+    return 2;
+  }
 
   std::cout << "CityMesh extension - Figure 10 (tiled parallel scaling)\n"
             << "one workload per (city size, shard count); draw-free regime so\n"
             << "every shard count must reproduce the sequential engine ("
-            << std::thread::hardware_concurrency() << " hardware thread(s)"
-            << (quick ? ", --quick ladder" : "") << ")\n";
+            << std::thread::hardware_concurrency() << " hardware thread(s), "
+            << tiling_name << " tiling" << (quick ? ", --quick ladder" : "")
+            << ")\n";
 
   emit.manifest().city = "ladder";
   emit.manifest().seeds["workload"] = kWorkloadSeed;
   emit.manifest().set_param("duration_s", duration_s);
   emit.manifest().set_param("bitrate_bps", kBitrateBps);
   emit.manifest().set_param("quick", quick ? std::uint64_t{1} : std::uint64_t{0});
+  emit.manifest().set_param("tiling_adaptive",
+                            tiling == citymesh::shardx::TilingMode::kAdaptive
+                                ? std::uint64_t{1}
+                                : std::uint64_t{0});
 
   runx::CityCache cache;
   std::vector<std::vector<std::string>> rows;
@@ -127,20 +178,32 @@ int main(int argc, char** argv) {
     const osmx::CityProfile profile = rung_profile(rung);
     emit.manifest().seeds[profile.name] = profile.seed;
     // The compiled city is shard-count independent; all K share one compile.
-    const auto compiled = cache.get(profile, network_config(1));
+    const auto compiled = cache.get(profile, network_config(1, tiling));
     const auto schedule =
         trafficx::compile(workload_spec(duration_s), compiled->city);
 
     std::string baseline_digest;
     double baseline_wall_s = 0.0;
     for (const std::size_t shards : kShardCounts) {
-      const core::NetworkConfig config = network_config(shards);
+      const core::NetworkConfig config = network_config(shards, tiling);
+      // VmHWM delta across build + run = this row's additional peak RSS.
+      // The ladder ascends, so each rung's K=1 row grows the process peak
+      // and its bytes/AP is meaningful; repeat-K rows on the same rung fit
+      // inside the already-reached peak and read ~0. Memory cells (like
+      // wall clock) stay out of the behavioral digest.
+      const auto mem_before = citymesh::benchutil::read_mem_usage();
       core::CityMeshNetwork network{compiled, config};
       const auto t0 = std::chrono::steady_clock::now();
       const auto run = trafficx::run_workload(network, schedule);
       const double wall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
+      const auto mem_after = citymesh::benchutil::read_mem_usage();
+      const std::uint64_t hwm_delta_kib =
+          mem_after.vm_hwm_kib - mem_before.vm_hwm_kib;
+      const double bytes_per_ap =
+          static_cast<double>(hwm_delta_kib) * 1024.0 /
+          static_cast<double>(compiled->aps.ap_count());
       const core::CapacitySummary& s = run.summary;
 
       // Behavioral cells only — identical across shard counts by contract.
@@ -172,13 +235,17 @@ int main(int argc, char** argv) {
       row.push_back(viz::fmt(wall_s, 3));
       row.push_back(wall_s > 0.0 ? viz::fmt(baseline_wall_s / wall_s, 2) + "x"
                                  : "-");
+      row.push_back(viz::fmt(static_cast<double>(mem_after.vm_hwm_kib) / 1024.0, 1));
+      row.push_back(viz::fmt(bytes_per_ap, 0));
+      row.push_back(viz::fmt(network.barrier_idle_s(), 3));
       rows.push_back(std::move(row));
     }
   }
 
   viz::print_table(std::cout, "Figure 10: tiled parallel scaling (shardx)",
                    {"city", "aps", "shards", "offered", "deliver", "tx",
-                    "p50 ms", "handoffs", "wall s", "speedup"},
+                    "p50 ms", "handoffs", "wall s", "speedup", "peak MiB",
+                    "B/AP", "idle s"},
                    rows);
 
   std::cout << "\nDeterminism digest: " << emit.digest_hex()

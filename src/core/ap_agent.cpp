@@ -16,15 +16,6 @@ bool should_rebroadcast(const wire::PacketHeader& header, const BuildingGraph& m
   return path.contains(map.centroid(ap_building));
 }
 
-void ApAgent::host_postbox(std::shared_ptr<Postbox> postbox) {
-  postboxes_[postbox->tag()] = std::move(postbox);
-}
-
-std::shared_ptr<Postbox> ApAgent::postbox_for_tag(std::uint32_t tag) const {
-  const auto it = postboxes_.find(tag);
-  return it == postboxes_.end() ? nullptr : it->second;
-}
-
 bool in_broadcast_region(const wire::PacketHeader& header, const BuildingGraph& map,
                          BuildingId ap_building) {
   if (!header.has_flag(wire::PacketFlag::kBroadcast)) return false;
@@ -80,12 +71,13 @@ AgentAction ApAgent::on_receive(const MeshPacket& packet, double now_s) {
   action.message_id = header.message_id;
   action.flags = header.flags;
 
-  if (!seen_.insert(header.message_id).second) {
+  AgentStateSlab& st = state();
+  if (!st.mark_seen(slot_, header.message_id)) {
     action.duplicate = true;
     return action;
   }
 
-  if (behavior_ == AgentBehavior::kCompromisedDrop) {
+  if (st.behavior(slot_) == AgentBehavior::kCompromisedDrop) {
     // A compromised node silently swallows traffic; the seen-set insert
     // above means it also poisons retries through itself, matching the
     // paper's threat model for routing resilience.
@@ -111,7 +103,7 @@ AgentAction ApAgent::on_receive(const MeshPacket& packet, double now_s) {
   if (is_broadcast) {
     // Geo-broadcast: every postbox hosted inside the region receives a copy.
     if (msg->broadcast_member(building_)) {
-      for (const auto& [tag, box] : postboxes_) store_into(box);
+      st.for_each_postbox(slot_, store_into);
     }
   } else if (!header.waypoints.empty() && building_ == header.waypoints.back()) {
     // Unicast: this AP sits in the destination building (last waypoint) and

@@ -5,13 +5,14 @@
 // postbox when the packet addresses one, and (3) rebroadcasts iff its own
 // position lies inside a conduit reconstructed from the header's waypoint
 // buildings and its cached building map. No routing tables, no neighbor
-// state — the seen-set is the agent's only mutable state.
+// state — the seen-set is the agent's only mutable state, and it lives in a
+// shared struct-of-arrays AgentStateSlab (core/ap_state) indexed by AP id;
+// the agent object itself holds only immutable identity.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "core/ap_state.hpp"
 #include "core/building_graph.hpp"
 #include "core/compiled_message.hpp"
 #include "core/conduit.hpp"
@@ -54,12 +55,6 @@ struct MeshPacket {
   std::shared_ptr<const CompiledMessage> compiled;
 };
 
-/// Failure-injection modes for the security experiments (§1 "Security").
-enum class AgentBehavior : std::uint8_t {
-  kNormal,
-  kCompromisedDrop,  ///< receives but never rebroadcasts or delivers
-};
-
 /// What the agent decided to do with one received packet.
 struct AgentAction {
   bool duplicate = false;
@@ -80,6 +75,9 @@ class ApAgent {
   /// `compiler` is the shared per-network compile service; agents built
   /// without one (standalone tests, benches) lazily grow a private compiler
   /// so packets lacking a precompiled message still compile exactly once.
+  /// Mutable state likewise: network-wired agents share the network's
+  /// AgentStateSlab via set_state(); standalone agents lazily grow a
+  /// private single-slot slab.
   ApAgent(mesh::ApId id, geo::Point position, BuildingId building,
           const BuildingGraph& map, MessageCompiler* compiler = nullptr)
       : id_(id), position_(position), building_(building), map_(&map),
@@ -89,29 +87,58 @@ class ApAgent {
   geo::Point position() const { return position_; }
   BuildingId building() const { return building_; }
 
-  void set_behavior(AgentBehavior b) { behavior_ = b; }
-  AgentBehavior behavior() const { return behavior_; }
+  void set_behavior(AgentBehavior b) { state().set_behavior(slot_, b); }
+  AgentBehavior behavior() const {
+    const AgentStateSlab* st = state_if_any();
+    return st != nullptr ? st->behavior(slot_) : AgentBehavior::kNormal;
+  }
 
   /// Repoint the compile service (tiled runs, src/shardx: each tile's agents
   /// share that tile's compiler so reception-time memo lookups and counter
   /// increments never cross threads). nullptr reverts to a lazy private one.
   void set_compiler(MessageCompiler* compiler) { compiler_ = compiler; }
 
+  /// Repoint the mutable state into a shared slab at `slot` (the AP id, for
+  /// network-owned slabs). The slab must outlive the agent.
+  void set_state(AgentStateSlab* slab, std::uint32_t slot) {
+    slab_ = slab;
+    slot_ = slab != nullptr ? slot : 0;
+  }
+
   /// Host a postbox at this AP. The agent matches incoming packets against
   /// hosted postbox tags.
-  void host_postbox(std::shared_ptr<Postbox> postbox);
-  std::shared_ptr<Postbox> postbox_for_tag(std::uint32_t tag) const;
+  void host_postbox(std::shared_ptr<Postbox> postbox) {
+    state().host_postbox(slot_, std::move(postbox));
+  }
+  std::shared_ptr<Postbox> postbox_for_tag(std::uint32_t tag) const {
+    const AgentStateSlab* st = state_if_any();
+    return st != nullptr ? st->postbox_for_tag(slot_, tag) : nullptr;
+  }
 
   /// Process one received packet at simulation time `now_s`.
   AgentAction on_receive(const MeshPacket& packet, double now_s);
 
   /// Number of distinct messages seen (diagnostics).
-  std::size_t seen_count() const { return seen_.size(); }
+  std::size_t seen_count() const {
+    const AgentStateSlab* st = state_if_any();
+    return st != nullptr ? st->seen_count(slot_) : 0;
+  }
 
  private:
   /// The compile service in effect: the network's shared one, or a lazily
   /// created private one for standalone agents.
   MessageCompiler& compiler();
+
+  /// The state slab in effect, creating the private single-slot fallback on
+  /// first use.
+  AgentStateSlab& state() {
+    if (slab_ != nullptr) return *slab_;
+    if (!own_slab_) own_slab_ = std::make_shared<AgentStateSlab>(1);
+    return *own_slab_;
+  }
+  const AgentStateSlab* state_if_any() const {
+    return slab_ != nullptr ? slab_ : own_slab_.get();
+  }
 
   mesh::ApId id_;
   geo::Point position_;
@@ -119,9 +146,9 @@ class ApAgent {
   const BuildingGraph* map_;
   MessageCompiler* compiler_ = nullptr;
   std::shared_ptr<MessageCompiler> own_compiler_;  ///< lazily created fallback
-  AgentBehavior behavior_ = AgentBehavior::kNormal;
-  std::unordered_set<std::uint32_t> seen_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<Postbox>> postboxes_;  // by tag
+  AgentStateSlab* slab_ = nullptr;  ///< shared slab (network-owned) or null
+  std::uint32_t slot_ = 0;          ///< this agent's index in the slab
+  std::shared_ptr<AgentStateSlab> own_slab_;  ///< lazily created fallback
 };
 
 }  // namespace citymesh::core

@@ -1,0 +1,17 @@
+#include "core/ap_state.hpp"
+
+namespace citymesh::core {
+
+void AgentStateSlab::host_postbox(std::uint32_t ap, std::shared_ptr<Postbox> box) {
+  const std::uint32_t tag = box->tag();
+  for (std::uint32_t e = postbox_head_[ap]; e != kNone; e = entries_[e].next) {
+    if (entries_[e].tag == tag) {
+      entries_[e].box = std::move(box);
+      return;
+    }
+  }
+  entries_.push_back({std::move(box), tag, postbox_head_[ap]});
+  postbox_head_[ap] = static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+}  // namespace citymesh::core

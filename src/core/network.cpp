@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <iterator>
 #include <limits>
 #include <stdexcept>
@@ -61,9 +62,11 @@ CityMeshNetwork::CityMeshNetwork(std::shared_ptr<const CompiledCity> compiled,
   if (config_.protocol == Protocol::kQfgeo) {
     compiler_.set_qfgeo(config_.qfgeo_region);
   }
+  agent_state_ = AgentStateSlab(aps().ap_count());
   agents_.reserve(aps().ap_count());
   for (const auto& ap : aps().aps()) {
     agents_.emplace_back(ap.id, ap.position, ap.building, compiled_->map, &compiler_);
+    agents_.back().set_state(&agent_state_, ap.id);
   }
   const bool tiled = config_.shards > 1;
   if (!tiled) {
@@ -203,7 +206,10 @@ relayx::PolicyConfig CityMeshNetwork::resolved_relay_config() const {
 
 void CityMeshNetwork::build_tiles() {
   plan_ = shardx::plan_tiles(compiled_->map.centroid_grid(), compiled_->map.building_count(),
-                             compiled_->aps, config_.shards);
+                             compiled_->aps, config_.shards, config_.tiling);
+  // Stripe the shared dup filter by tile: an AP's receptions run only on its
+  // owning tile's thread, so per-tile stripes make the one slab TSan-clean.
+  agent_state_.set_stripes(plan_.ap_tile.data(), plan_.tile_count);
   const double min_serialization_s =
       config_.medium.bitrate_bps > 0.0
           ? static_cast<double>(config_.medium.frame_overhead_bits) / config_.medium.bitrate_bps
@@ -247,11 +253,14 @@ void CityMeshNetwork::build_tiles() {
     // accumulated seconds. K = 1 keeps the unquantized legacy sum.
     s->h_latency->set_sum_quantum(0x1p-30);
     s->sim->set_latency_histogram(s->h_latency);
-    s->own_topology = std::make_unique<graphx::Graph>(
-        shardx::tile_subgraph(aps().graph(), plan_.ap_tile, tile));
+    // All K mediums walk the one compiled-city CSR; the tile filter skips
+    // cross-tile neighbors (remote_fanout covers exactly those cut edges).
+    // A filtered walk visits the same edges in the same order as the old
+    // per-tile tile_subgraph copies did (test_metromem pins the parity).
     s->own_medium = std::make_unique<sim::BroadcastMedium<MeshPacket>>(
-        *s->sim, *s->own_topology, medium_config);
+        *s->sim, aps().graph(), medium_config);
     s->medium = s->own_medium.get();
+    s->medium->set_tile_filter(plan_.ap_tile.data(), tile);
     s->medium->set_delivery_handler(
         [this, sp](sim::NodeId to, sim::NodeId from,
                    const std::shared_ptr<const MeshPacket>& packet) {
@@ -769,10 +778,20 @@ std::size_t CityMeshNetwork::run_tiled(sim::SimTime until, std::size_t max_event
     const sim::SimTime end =
         lookahead_s_ >= sim::kForever ? cap : std::min(cap, earliest + lookahead_s_);
     const std::size_t budget = max_events - executed;
+    window_busy_s_.assign(shards_.size(), 0.0);
     pool_->run(shards_.size(), [&](std::size_t i) {
+      const auto t0 = std::chrono::steady_clock::now();
       counts[i] = shards_[i]->sim->run(end, budget);
+      window_busy_s_[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     });
     for (const std::size_t c : counts) executed += c;
+    // Barrier-idle accounting: every tile waits for the slowest one before
+    // the handoff exchange, so the window's idle cost is the gap each tile
+    // leaves to the maximum.
+    double slowest = 0.0;
+    for (const double b : window_busy_s_) slowest = std::max(slowest, b);
+    for (const double b : window_busy_s_) barrier_idle_s_ += slowest - b;
     if (end > shard_now_) shard_now_ = end;
   }
   merge_shard_deltas();

@@ -120,6 +120,14 @@ struct NetworkConfig {
   /// the legacy simulator); ScenarioEngine::apply_all between runs is fine.
   std::size_t shards = 1;
 
+  /// How plan_tiles partitions the city when shards > 1. kGrid is the
+  /// original uniform centroid grid; kAdaptive balances tiles by estimated
+  /// event rate (AP count + radio degree per building) so dense downtown
+  /// tiles stop dominating the window barrier. Digests are invariant across
+  /// modes for every K >= 2 — tiled behavior depends only on hashed
+  /// per-link draws and per-AP streams, never on which tile hosts an AP.
+  shardx::TilingMode tiling = shardx::TilingMode::kGrid;
+
   /// Which protocol family this network runs. kConduit (default) leaves
   /// every code path byte-identical to the pre-qfgeo pipeline; kQfgeo
   /// routes sends/injections through QF-Geo bounded-region forwarding.
@@ -338,6 +346,12 @@ class CityMeshNetwork {
   /// the tiles are radio-isolated or shards == 1).
   double lookahead_s() const { return lookahead_s_; }
 
+  /// Cumulative worker idle time at window barriers (tiled runs): per
+  /// window, the sum over tiles of (slowest tile's wall clock - own wall
+  /// clock). High values mean the tile plan is unbalanced — the number
+  /// adaptive tiling exists to shrink. Always 0 with shards == 1.
+  double barrier_idle_s() const { return barrier_idle_s_; }
+
   /// One cross-tile reception exchanged at a window barrier, in the
   /// deterministic ingestion order (time, src_tile, seq).
   struct HandoffRecord {
@@ -521,9 +535,10 @@ class CityMeshNetwork {
     shardx::TileId tile = 0;
     bool direct = true;  ///< legacy aliasing shard?
 
-    // Owning storage (tiled shards only).
+    // Owning storage (tiled shards only). Every shard's medium runs over
+    // the one shared compiled-city CSR with a tile filter — there is no
+    // per-tile topology copy.
     std::unique_ptr<sim::Simulator> own_sim;
-    std::unique_ptr<graphx::Graph> own_topology;
     std::unique_ptr<sim::BroadcastMedium<MeshPacket>> own_medium;
     std::unique_ptr<obsx::MetricsRegistry> own_metrics;
     std::unique_ptr<obsx::TraceBuffer> own_trace;
@@ -654,6 +669,9 @@ class CityMeshNetwork {
 #endif
   sim::Simulator sim_;
   sim::BroadcastMedium<MeshPacket> medium_;
+  /// Every agent's mutable state, struct-of-arrays by AP id (core/ap_state).
+  /// One slab serves all tile shards; the dup filter is striped by tile.
+  AgentStateSlab agent_state_{0};
   std::vector<ApAgent> agents_;
   std::unique_ptr<relayx::RebroadcastPolicy> policy_;
 
@@ -745,6 +763,8 @@ class CityMeshNetwork {
   bool record_handoffs_ = false;
   std::vector<HandoffRecord> handoff_log_;
   std::uint64_t handoffs_exchanged_ = 0;
+  double barrier_idle_s_ = 0.0;
+  std::vector<double> window_busy_s_;  ///< per-tile wall clock, scratch
 };
 
 }  // namespace citymesh::core

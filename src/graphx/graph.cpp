@@ -1,6 +1,7 @@
 #include "graphx/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace citymesh::graphx {
@@ -14,6 +15,9 @@ void GraphBuilder::add_edge(VertexId a, VertexId b, double weight) {
 }
 
 Graph GraphBuilder::build() const {
+  if (edges_.size() * 2 > std::numeric_limits<EdgeOffset>::max()) {
+    throw std::length_error{"GraphBuilder::build: directed edge count exceeds 32-bit CSR offsets"};
+  }
   Graph g;
   g.offsets_.assign(vertex_count_ + 1, 0);
   for (const auto& e : edges_) {
@@ -23,18 +27,26 @@ Graph GraphBuilder::build() const {
   for (std::size_t v = 0; v < vertex_count_; ++v) {
     g.offsets_[v + 1] += g.offsets_[v];
   }
-  g.adjacency_.resize(edges_.size() * 2);
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Stable counting sort into the split arrays: each vertex's slice lists
+  // neighbors in edge-insertion order, which downstream layers rely on
+  // (per-directed-edge tables, tile-filtered walks).
+  g.targets_.resize(edges_.size() * 2);
+  g.weights_.resize(edges_.size() * 2);
+  std::vector<EdgeOffset> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const auto& e : edges_) {
-    g.adjacency_[cursor[e.a]++] = {e.b, e.weight};
-    g.adjacency_[cursor[e.b]++] = {e.a, e.weight};
+    const EdgeOffset at_a = cursor[e.a]++;
+    g.targets_[at_a] = e.b;
+    g.weights_[at_a] = e.weight;
+    const EdgeOffset at_b = cursor[e.b]++;
+    g.targets_[at_b] = e.a;
+    g.weights_[at_b] = e.weight;
   }
   return g;
 }
 
 bool Graph::has_edge(VertexId a, VertexId b) const {
-  for (const Edge& e : neighbors(a)) {
-    if (e.to == b) return true;
+  for (const VertexId to : neighbors(a).ids()) {
+    if (to == b) return true;
   }
   return false;
 }

@@ -4,6 +4,17 @@
 // (vertices = access points, edges = pairs within transmission range) and
 // the *building graph* (vertices = buildings, edges = predicted inter-
 // building connectivity, weight = cubed centroid distance).
+//
+// Memory layout (metro-memory refactor): the adjacency is split into two
+// packed parallel arrays — 4-byte neighbor ids and 8-byte weights — behind
+// 4-byte offsets, instead of one array of padded 16-byte {id, weight}
+// structs. A hot loop that only needs the neighbor ids (the medium's
+// per-transmission fan-out) walks 4 bytes per edge; weight-consuming loops
+// (Dijkstra relaxation) read the second array in the same stride.
+// `neighbors()` returns a lightweight view whose iteration still yields
+// `Edge` values, so call sites are unchanged. The graph is immutable after
+// GraphBuilder::build and is built once per compiled city; every consumer
+// (medium shards, relayx link tables, tile plans) indexes this one copy.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +25,13 @@ namespace citymesh::graphx {
 
 using VertexId = std::uint32_t;
 
-/// One outgoing edge in the CSR adjacency.
+/// Offset into the packed adjacency arrays. 32 bits bounds the graph at
+/// ~4.3e9 directed edges — three orders of magnitude above the metro
+/// ladder's largest rung — and halves the offset table against size_t.
+using EdgeOffset = std::uint32_t;
+
+/// One outgoing edge in the CSR adjacency (materialized on read; the stored
+/// form is the split target/weight arrays).
 struct Edge {
   VertexId to;
   double weight;
@@ -47,18 +64,83 @@ class GraphBuilder {
 
 class Graph {
  public:
+  /// View over one vertex's CSR slice. Iteration and indexing yield `Edge`
+  /// values assembled from the split arrays; `ids()` exposes the contiguous
+  /// neighbor-id run directly for loops that never touch weights.
+  class NeighborRange {
+   public:
+    class iterator {
+     public:
+      using value_type = Edge;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const VertexId* to, const double* weight) : to_(to), weight_(weight) {}
+      Edge operator*() const { return {*to_, *weight_}; }
+      iterator& operator++() {
+        ++to_;
+        ++weight_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator tmp = *this;
+        ++*this;
+        return tmp;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.to_ == b.to_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return a.to_ != b.to_;
+      }
+
+     private:
+      const VertexId* to_ = nullptr;
+      const double* weight_ = nullptr;
+    };
+
+    NeighborRange(const VertexId* to, const double* weight, std::size_t count)
+        : to_(to), weight_(weight), count_(count) {}
+
+    iterator begin() const { return {to_, weight_}; }
+    iterator end() const { return {to_ + count_, weight_ + count_}; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    Edge operator[](std::size_t i) const { return {to_[i], weight_[i]}; }
+    /// The neighbor ids alone, contiguous in memory.
+    std::span<const VertexId> ids() const { return {to_, count_}; }
+    std::span<const double> weights() const { return {weight_, count_}; }
+
+   private:
+    const VertexId* to_;
+    const double* weight_;
+    std::size_t count_;
+  };
+
   Graph() = default;
 
   std::size_t vertex_count() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
   /// Number of undirected edges.
-  std::size_t edge_count() const { return adjacency_.size() / 2; }
+  std::size_t edge_count() const { return targets_.size() / 2; }
+  /// Number of directed adjacency entries (2x edge_count) — the size of the
+  /// packed edge arrays, and of any external per-directed-edge table aligned
+  /// with them via edge_offset().
+  std::size_t directed_edge_count() const { return targets_.size(); }
 
   /// Neighbors of vertex v with weights.
-  std::span<const Edge> neighbors(VertexId v) const {
-    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  NeighborRange neighbors(VertexId v) const {
+    const EdgeOffset begin = offsets_[v];
+    return {targets_.data() + begin, weights_.data() + begin,
+            static_cast<std::size_t>(offsets_[v + 1] - begin)};
   }
+
+  /// Start of vertex v's slice in the packed edge arrays. Valid for
+  /// v == vertex_count() too (the one-past-the-end offset), so external
+  /// per-directed-edge state (relayx ETX rows) can reuse this indexing
+  /// instead of rebuilding its own offset table.
+  EdgeOffset edge_offset(VertexId v) const { return offsets_[v]; }
 
   std::size_t degree(VertexId v) const {
     return offsets_[v + 1] - offsets_[v];
@@ -68,8 +150,9 @@ class Graph {
 
  private:
   friend class GraphBuilder;
-  std::vector<std::size_t> offsets_;  // vertex_count + 1 entries
-  std::vector<Edge> adjacency_;
+  std::vector<EdgeOffset> offsets_;   // vertex_count + 1 entries
+  std::vector<VertexId> targets_;     // packed neighbor ids
+  std::vector<double> weights_;       // packed weights, parallel to targets_
 };
 
 }  // namespace citymesh::graphx

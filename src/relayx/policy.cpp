@@ -145,25 +145,23 @@ class CounterGossipPolicy final : public RebroadcastPolicy {
 /// progresses.
 class EtxPriorityPolicy final : public RebroadcastPolicy {
  public:
+  // The per-directed-link tables are indexed by the topology CSR's own
+  // edge_offset(), so the policy carries no duplicate offset array — its
+  // rows align one-to-one with the graph's packed adjacency.
   EtxPriorityPolicy(const PolicyConfig& config, const mesh::ApNetwork& aps)
       : RebroadcastPolicy(config),
         aps_(aps),
         streams_(make_streams(config.seed, aps.ap_count())) {
-    const graphx::Graph& graph = aps.graph();
-    edge_base_.reserve(graph.vertex_count() + 1);
-    edge_base_.push_back(0);
-    for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
-      edge_base_.push_back(edge_base_.back() + graph.degree(static_cast<mesh::ApId>(v)));
-    }
-    rx_counts_.assign(edge_base_.back(), 0.0);
-    last_rx_s_.assign(edge_base_.back(), 0.0);
+    rx_counts_.assign(aps.graph().directed_edge_count(), 0.0);
+    last_rx_s_.assign(aps.graph().directed_edge_count(), 0.0);
   }
 
   void observe(const Reception& rx) override {
-    const auto links = aps_.graph().neighbors(rx.ap);
+    const graphx::Graph& graph = aps_.graph();
+    const auto links = graph.neighbors(rx.ap).ids();
     for (std::size_t i = 0; i < links.size(); ++i) {
-      if (links[i].to != rx.from) continue;
-      const std::size_t slot = edge_base_[rx.ap] + i;
+      if (links[i] != rx.from) continue;
+      const std::size_t slot = graph.edge_offset(rx.ap) + i;
       // Lazy exponential decay: age the accumulated mass to `now`, then add
       // this reception. Commutative for equal-time receptions, so the
       // estimate is a pure function of the link's reception *times*, never
@@ -218,8 +216,11 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
   /// over its links, with each c aged to now (read-only; observe() owns the
   /// stored values).
   double score(mesh::ApId ap, double now_s) const {
+    const graphx::Graph& graph = aps_.graph();
+    const std::size_t begin = graph.edge_offset(ap);
+    const std::size_t end = graph.edge_offset(ap + 1);
     double total = 0.0;
-    for (std::size_t i = edge_base_[ap]; i < edge_base_[ap + 1]; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       const double c = aged(rx_counts_[i], last_rx_s_[i], now_s);
       total += c / (c + 1.0);
     }
@@ -228,9 +229,8 @@ class EtxPriorityPolicy final : public RebroadcastPolicy {
 
   const mesh::ApNetwork& aps_;
   std::vector<geo::Rng> streams_;
-  std::vector<std::size_t> edge_base_;   ///< CSR offsets into rx_counts_
-  std::vector<double> rx_counts_;        ///< per directed link (ap <- from)
-  std::vector<double> last_rx_s_;        ///< last reception time per link
+  std::vector<double> rx_counts_;  ///< per directed link (ap <- from), CSR order
+  std::vector<double> last_rx_s_;  ///< last reception time per link
 };
 
 }  // namespace

@@ -26,10 +26,107 @@ void grid_shape(std::size_t shards, std::uint32_t& cols, std::uint32_t& rows) {
   rows = 1;
 }
 
+/// Uniform cols x rows grid over the centroid bounding box.
+void assign_grid(const geo::SpatialGrid& centroid_grid, std::size_t building_count,
+                 TilePlan& plan) {
+  double min_x = centroid_grid.position(0).x, max_x = min_x;
+  double min_y = centroid_grid.position(0).y, max_y = min_y;
+  for (std::uint32_t b = 1; b < building_count; ++b) {
+    const geo::Point p = centroid_grid.position(b);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = max_x - min_x;
+  const double span_y = max_y - min_y;
+  for (std::uint32_t b = 0; b < building_count; ++b) {
+    const geo::Point p = centroid_grid.position(b);
+    std::uint32_t col = 0, row = 0;
+    if (span_x > 0.0) {
+      col = static_cast<std::uint32_t>((p.x - min_x) / span_x * plan.grid_cols);
+      col = std::min(col, plan.grid_cols - 1);
+    }
+    if (span_y > 0.0) {
+      row = static_cast<std::uint32_t>((p.y - min_y) / span_y * plan.grid_rows);
+      row = std::min(row, plan.grid_rows - 1);
+    }
+    plan.building_tile[b] = row * plan.grid_cols + col;
+  }
+}
+
+/// Weighted rectilinear partition: cut buildings into cols columns of
+/// roughly equal total weight by centroid x, then each column into rows
+/// tiles by centroid y. A building's weight is the sum over its APs of
+/// (1 + radio degree): each AP contributes its own event handling plus one
+/// reception per in-range neighbor whenever anything nearby transmits — a
+/// static proxy for the per-tile event rate the window barrier waits on.
+/// Integer weights and (coordinate, id) sort keys keep the cuts exactly
+/// reproducible across platforms.
+void assign_adaptive(const geo::SpatialGrid& centroid_grid, std::size_t building_count,
+                     const mesh::ApNetwork& net, TilePlan& plan) {
+  std::vector<std::uint64_t> weight(building_count, 0);
+  const graphx::Graph& topology = net.graph();
+  for (const auto& ap : net.aps()) {
+    weight[ap.building] += 1 + topology.degree(ap.id);
+  }
+
+  std::vector<std::uint32_t> order(building_count);
+  for (std::uint32_t b = 0; b < building_count; ++b) order[b] = b;
+  const auto by_x = [&](std::uint32_t a, std::uint32_t b) {
+    const double xa = centroid_grid.position(a).x, xb = centroid_grid.position(b).x;
+    if (xa != xb) return xa < xb;
+    return a < b;
+  };
+  std::sort(order.begin(), order.end(), by_x);
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weight) total += w;
+
+  // Greedy column cuts at cumulative targets total*(c+1)/cols: a column
+  // closes once it reaches its share, so every column holds a contiguous
+  // x-range and the weights differ from ideal by at most one building.
+  std::vector<std::vector<std::uint32_t>> columns(plan.grid_cols);
+  {
+    std::uint64_t cum = 0;
+    std::uint32_t col = 0;
+    for (const std::uint32_t b : order) {
+      columns[col].push_back(b);
+      cum += weight[b];
+      while (col + 1 < plan.grid_cols &&
+             cum * plan.grid_cols >= total * (static_cast<std::uint64_t>(col) + 1)) {
+        ++col;
+      }
+    }
+  }
+
+  for (std::uint32_t col = 0; col < plan.grid_cols; ++col) {
+    std::vector<std::uint32_t>& members = columns[col];
+    const auto by_y = [&](std::uint32_t a, std::uint32_t b) {
+      const double ya = centroid_grid.position(a).y, yb = centroid_grid.position(b).y;
+      if (ya != yb) return ya < yb;
+      return a < b;
+    };
+    std::sort(members.begin(), members.end(), by_y);
+    std::uint64_t col_total = 0;
+    for (const std::uint32_t b : members) col_total += weight[b];
+    std::uint64_t cum = 0;
+    std::uint32_t row = 0;
+    for (const std::uint32_t b : members) {
+      plan.building_tile[b] = row * plan.grid_cols + col;
+      cum += weight[b];
+      while (row + 1 < plan.grid_rows &&
+             cum * plan.grid_rows >= col_total * (static_cast<std::uint64_t>(row) + 1)) {
+        ++row;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 TilePlan plan_tiles(const geo::SpatialGrid& centroid_grid, std::size_t building_count,
-                    const mesh::ApNetwork& net, std::size_t shards) {
+                    const mesh::ApNetwork& net, std::size_t shards, TilingMode mode) {
   if (shards == 0) throw std::invalid_argument{"plan_tiles: shards must be >= 1"};
   if (shards > 1 && building_count == 0)
     throw std::invalid_argument{"plan_tiles: cannot tile a city with no buildings"};
@@ -40,29 +137,10 @@ TilePlan plan_tiles(const geo::SpatialGrid& centroid_grid, std::size_t building_
 
   plan.building_tile.assign(building_count, 0);
   if (shards > 1) {
-    double min_x = centroid_grid.position(0).x, max_x = min_x;
-    double min_y = centroid_grid.position(0).y, max_y = min_y;
-    for (std::uint32_t b = 1; b < building_count; ++b) {
-      const geo::Point p = centroid_grid.position(b);
-      min_x = std::min(min_x, p.x);
-      max_x = std::max(max_x, p.x);
-      min_y = std::min(min_y, p.y);
-      max_y = std::max(max_y, p.y);
-    }
-    const double span_x = max_x - min_x;
-    const double span_y = max_y - min_y;
-    for (std::uint32_t b = 0; b < building_count; ++b) {
-      const geo::Point p = centroid_grid.position(b);
-      std::uint32_t col = 0, row = 0;
-      if (span_x > 0.0) {
-        col = static_cast<std::uint32_t>((p.x - min_x) / span_x * plan.grid_cols);
-        col = std::min(col, plan.grid_cols - 1);
-      }
-      if (span_y > 0.0) {
-        row = static_cast<std::uint32_t>((p.y - min_y) / span_y * plan.grid_rows);
-        row = std::min(row, plan.grid_rows - 1);
-      }
-      plan.building_tile[b] = row * plan.grid_cols + col;
+    if (mode == TilingMode::kAdaptive) {
+      assign_adaptive(centroid_grid, building_count, net, plan);
+    } else {
+      assign_grid(centroid_grid, building_count, plan);
     }
   }
 

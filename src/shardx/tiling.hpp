@@ -51,11 +51,28 @@ struct TilePlan {
   std::vector<bool> boundary_ap;      ///< AP has >= 1 cut edge (either direction)
 };
 
-/// Partition the city into `shards` tiles over the building-centroid grid.
-/// Deterministic for a given city + shards. Precondition: shards >= 1;
-/// building_count > 0 when shards > 1.
+/// How plan_tiles assigns buildings to tiles.
+enum class TilingMode : std::uint8_t {
+  /// Uniform cols x rows grid over the centroid bounding box. Simple and
+  /// the historical default, but downtown cells carry far more APs (and
+  /// radio edges, and therefore events) than suburban ones, so the densest
+  /// tile dominates every window barrier.
+  kGrid,
+  /// Weighted rectilinear partition: buildings are cut into `cols` columns
+  /// of roughly equal total weight (by centroid x), then each column into
+  /// `rows` tiles likewise (by centroid y), where a building's weight is
+  /// 1 + its APs' radio degrees — a static proxy for the event rate its
+  /// receptions generate. Same cols x rows topology as kGrid, boundaries
+  /// placed where the load is. Deterministic for a given city + shards.
+  kAdaptive,
+};
+
+/// Partition the city into `shards` tiles. Deterministic for a given
+/// city + shards + mode. Precondition: shards >= 1; building_count > 0 when
+/// shards > 1.
 TilePlan plan_tiles(const geo::SpatialGrid& centroid_grid, std::size_t building_count,
-                    const mesh::ApNetwork& net, std::size_t shards);
+                    const mesh::ApNetwork& net, std::size_t shards,
+                    TilingMode mode = TilingMode::kGrid);
 
 /// The tile-internal subgraph over the FULL AP id space: vertices keep their
 /// global ids (so one packet's node ids mean the same thing everywhere);

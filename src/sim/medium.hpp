@@ -49,9 +49,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -170,7 +170,9 @@ class BroadcastMedium {
         config_(config),
         loss_rng_(config.seed),
         jitter_rng_(config.seed ^ kJitterStream),
-        tx_state_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0),
+        busy_until_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0, 0.0),
+        airtime_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0, 0.0),
+        node_ring_(config.bitrate_bps > 0.0 ? topology.vertex_count() : 0, kNoRing),
         tx_counts_(config.shard_invariant_rng ? topology.vertex_count() : 0) {
     transmissions_ = &own_.counter("transmissions");
     deliveries_ = &own_.counter("deliveries");
@@ -201,9 +203,23 @@ class BroadcastMedium {
   void set_tx_observer(TxObserverFn fn) { tx_observer_ = std::move(fn); }
 
   /// Install the cross-shard fan-out hook (src/shardx). Pass nullptr to
-  /// clear. Only meaningful when this medium's topology is a tile subgraph:
-  /// the hook carries every on-air packet to the links the subgraph omits.
+  /// clear. Only meaningful when this medium covers a single tile of the
+  /// topology: the hook carries every on-air packet to the links the tile
+  /// filter (or a tile subgraph) omits.
   void set_remote_fanout(RemoteFanoutFn fn) { remote_fanout_ = std::move(fn); }
+
+  /// Restrict local fan-out to neighbors whose tile equals `tile` in the
+  /// external per-node table `node_tile` (one entry per topology vertex;
+  /// must outlive the medium). This lets K tile shards share the one
+  /// compiled-city CSR instead of each copying its subgraph. Cross-tile
+  /// neighbors are skipped before any loss/jitter draw, which is outcome-
+  /// preserving only under shard_invariant_rng (draws are keyed per link,
+  /// not consumed from a shared stream) — the tiled engine always runs in
+  /// that regime. Pass nullptr to clear.
+  void set_tile_filter(const std::uint32_t* node_tile, std::uint32_t tile) {
+    tile_filter_ = node_tile;
+    tile_ = tile;
+  }
 
   const MediumConfig& config() const { return config_; }
 
@@ -244,15 +260,14 @@ class BroadcastMedium {
       return;
     }
     if (contention_enabled()) {
-      TxState& tx = tx_state_[from];
-      if (tx.busy_until > sim_.now() || !tx.queue.empty()) {
-        if (tx.queue.size() >= config_.tx_queue_capacity) {
+      if (busy_until_[from] > sim_.now() || queue_size(from) > 0) {
+        if (queue_size(from) >= config_.tx_queue_capacity) {
           queue_drops_->inc();
           trace(obsx::TraceKind::kDropQueue, from, trace_id(*packet));
         } else {
           deferrals_->inc();
           trace(obsx::TraceKind::kDeferred, from, trace_id(*packet));
-          tx.queue.push_back(std::move(packet));
+          queue_push(from, std::move(packet));
         }
         return;
       }
@@ -276,17 +291,17 @@ class BroadcastMedium {
 
   /// Cumulative on-air seconds of one node (contention model; 0 otherwise).
   double airtime_s(NodeId node) const {
-    return node < tx_state_.size() ? tx_state_[node].airtime_s : 0.0;
+    return node < airtime_.size() ? airtime_[node] : 0.0;
   }
   /// Cumulative on-air seconds across every node.
   double total_airtime_s() const {
     double total = 0.0;
-    for (const TxState& tx : tx_state_) total += tx.airtime_s;
+    for (const double a : airtime_) total += a;
     return total;
   }
   /// Packets currently waiting in one node's transmit queue.
   std::size_t queued(NodeId node) const {
-    return node < tx_state_.size() ? tx_state_[node].queue.size() : 0;
+    return node < node_ring_.size() ? queue_size(node) : 0;
   }
 
   void reset_counters() {
@@ -298,7 +313,7 @@ class BroadcastMedium {
     deferrals_->reset();
     queue_drops_->reset();
     airtime_us_->reset();
-    for (TxState& tx : tx_state_) tx.airtime_s = 0.0;
+    for (double& a : airtime_) a = 0.0;
     for (std::uint32_t& c : tx_counts_) c = 0;
   }
 
@@ -354,12 +369,66 @@ class BroadcastMedium {
     free_batches_.push_back(batch);
   }
 
-  /// Per-node transmitter state (contention model only).
-  struct TxState {
-    SimTime busy_until = 0.0;
-    std::deque<std::shared_ptr<const Packet>> queue;
-    double airtime_s = 0.0;
+  // --- Transmit-queue ring slab (contention model only) -------------------
+  // Per-node transmitter state is struct-of-arrays: busy_until_ / airtime_ /
+  // node_ring_ are flat per-node slabs, and the FIFO queues themselves live
+  // in a shared pool of fixed-capacity rings. A node holds a ring only while
+  // packets are actually waiting (node_ring_ == kNoRing otherwise), so idle
+  // nodes cost 20 bytes instead of a ~96-byte TxState with an empty deque —
+  // at metro scale almost every node is idle almost always, and the number
+  // of live rings tracks instantaneous congestion, not city size.
+
+  static constexpr std::uint32_t kNoRing = 0xffffffffu;
+
+  struct Ring {
+    std::uint32_t head = 0;
+    std::uint32_t size = 0;
   };
+
+  std::size_t queue_size(NodeId node) const {
+    const std::uint32_t r = node_ring_[node];
+    return r == kNoRing ? 0 : rings_[r].size;
+  }
+
+  /// Append to the node's FIFO; the caller has already checked capacity.
+  void queue_push(NodeId node, std::shared_ptr<const Packet> packet) {
+    std::uint32_t r = node_ring_[node];
+    if (r == kNoRing) r = acquire_ring(node);
+    Ring& ring = rings_[r];
+    const std::size_t cap = config_.tx_queue_capacity;
+    ring_slots_[r * cap + (ring.head + ring.size) % cap] = std::move(packet);
+    ++ring.size;
+  }
+
+  /// Pop the FIFO head; releases the ring when it empties. The caller has
+  /// already checked queue_size(node) > 0.
+  std::shared_ptr<const Packet> queue_pop(NodeId node) {
+    const std::uint32_t r = node_ring_[node];
+    Ring& ring = rings_[r];
+    const std::size_t cap = config_.tx_queue_capacity;
+    std::shared_ptr<const Packet> packet = std::move(ring_slots_[r * cap + ring.head]);
+    ring.head = static_cast<std::uint32_t>((ring.head + 1) % cap);
+    if (--ring.size == 0) {
+      node_ring_[node] = kNoRing;
+      free_rings_.push_back(r);
+    }
+    return packet;
+  }
+
+  std::uint32_t acquire_ring(NodeId node) {
+    std::uint32_t r;
+    if (free_rings_.empty()) {
+      r = static_cast<std::uint32_t>(rings_.size());
+      rings_.emplace_back();
+      ring_slots_.resize(ring_slots_.size() + config_.tx_queue_capacity);
+    } else {
+      r = free_rings_.back();
+      free_rings_.pop_back();
+      rings_[r] = Ring{};
+    }
+    node_ring_[node] = r;
+    return r;
+  }
 
   SimTime serialization_delay(const Packet& packet) const {
     if (!contention_enabled()) return config_.tx_delay_s;
@@ -377,40 +446,49 @@ class BroadcastMedium {
     trace(obsx::TraceKind::kTx, from, pid);
     if (tx_observer_) tx_observer_(from, *packet);
     if (contention_enabled()) {
-      TxState& tx = tx_state_[from];
-      tx.busy_until = sim_.now() + air;
-      tx.airtime_s += air;
+      busy_until_[from] = sim_.now() + air;
+      airtime_[from] += air;
       airtime_us_->inc(static_cast<std::uint64_t>(std::llround(air * 1e6)));
       sim_.schedule_in(air, [this, from] { complete_transmission(from); });
     }
     const std::uint32_t txn =
         config_.shard_invariant_rng ? tx_counts_[from]++ : 0;
     DeliveryBatch* batch = config_.batched_delivery ? acquire_batch() : nullptr;
-    for (const graphx::Edge& link : topology_.neighbors(from)) {
+    // The CSR keeps neighbor ids and weights in split packed arrays; the
+    // tile-membership check (and the common no-loss path) walks only the
+    // 4-byte id run.
+    const auto links = topology_.neighbors(from);
+    const std::span<const NodeId> link_ids = links.ids();
+    const std::span<const double> link_weights = links.weights();
+    for (std::size_t i = 0; i < link_ids.size(); ++i) {
+      const NodeId to = link_ids[i];
+      // Cross-tile neighbors are handled by remote_fanout_; skipping them
+      // before any draw is outcome-preserving because tiled runs always use
+      // the per-link hashed draws (see set_tile_filter).
+      if (tile_filter_ != nullptr && tile_filter_[to] != tile_) continue;
       double loss = config_.loss_probability;
       if (link_loss_) {
-        const double extra = link_loss_(from, link.to);
+        const double extra = link_loss_(from, to);
         if (extra > 0.0) loss = 1.0 - (1.0 - loss) * (1.0 - extra);
       }
       if (loss > 0.0) {
         const bool lost = config_.shard_invariant_rng
-                              ? link_unit(config_.seed, from, link.to, txn, 0) < loss
+                              ? link_unit(config_.seed, from, to, txn, 0) < loss
                               : loss_rng_.chance(loss);
         if (lost) {
           losses_->inc();
-          trace(obsx::TraceKind::kDropLoss, link.to, pid, static_cast<std::uint32_t>(from));
+          trace(obsx::TraceKind::kDropLoss, to, pid, static_cast<std::uint32_t>(from));
           continue;
         }
       }
       SimTime jitter = 0.0;
       if (config_.jitter_s > 0.0) {
         jitter = config_.shard_invariant_rng
-                     ? link_unit(config_.seed ^ kJitterStream, from, link.to, txn, 1) *
+                     ? link_unit(config_.seed ^ kJitterStream, from, to, txn, 1) *
                            config_.jitter_s
                      : jitter_rng_.uniform(0.0, config_.jitter_s);
       }
-      const SimTime delay = air + config_.prop_delay_s_per_m * link.weight + jitter;
-      const NodeId to = link.to;
+      const SimTime delay = air + config_.prop_delay_s_per_m * link_weights[i] + jitter;
       if (batch != nullptr) {
         // Same (time, seq) key and latency recording schedule_in would have
         // produced; the entry just lives in the batch instead of the queue.
@@ -462,13 +540,11 @@ class BroadcastMedium {
 
   /// The in-flight packet finished serializing: start the next queued one.
   void complete_transmission(NodeId from) {
-    TxState& tx = tx_state_[from];
     // A fresh transmit may have claimed the channel at exactly the free
     // instant (before this event ran); its own completion drains the queue.
-    if (tx.busy_until > sim_.now()) return;
-    while (!tx.queue.empty()) {
-      std::shared_ptr<const Packet> packet = std::move(tx.queue.front());
-      tx.queue.pop_front();
+    if (busy_until_[from] > sim_.now()) return;
+    while (queue_size(from) > 0) {
+      std::shared_ptr<const Packet> packet = queue_pop(from);
       if (!node_up(from)) {
         // The node died while the packet waited; it never airs.
         blocked_transmissions_->inc();
@@ -503,8 +579,16 @@ class BroadcastMedium {
   RemoteFanoutFn remote_fanout_;
   std::vector<std::unique_ptr<DeliveryBatch>> all_batches_;  ///< owns every batch
   std::vector<DeliveryBatch*> free_batches_;  ///< batches not currently in flight
-  std::vector<TxState> tx_state_;  ///< empty when contention is off
+  // Per-node transmitter slabs (all empty when contention is off).
+  std::vector<SimTime> busy_until_;
+  std::vector<double> airtime_;
+  std::vector<std::uint32_t> node_ring_;  ///< ring index or kNoRing
+  std::vector<Ring> rings_;
+  std::vector<std::shared_ptr<const Packet>> ring_slots_;  ///< tx_queue_capacity per ring
+  std::vector<std::uint32_t> free_rings_;
   std::vector<std::uint32_t> tx_counts_;  ///< empty unless shard_invariant_rng
+  const std::uint32_t* tile_filter_ = nullptr;  ///< per-node tile table (shardx)
+  std::uint32_t tile_ = 0;
   obsx::MetricsRegistry own_;  ///< fallback registry until bind_metrics()
   obsx::Counter* transmissions_;
   obsx::Counter* deliveries_;

@@ -147,6 +147,24 @@ cmp -s "${smoke_dir}/golden_shards2.json" "${smoke_dir}/golden_shards4.json" || 
 "${build_dir}/bench/fig10_scale" --quick >/dev/null || {
   echo "check.sh: fig10_scale shard-count invariance failed" >&2; exit 1; }
 
+# Tiling gate: the event-rate-adaptive tiler moves tile boundaries, never
+# behavior. The fig10 quick ladder under both partitioners must emit the
+# same behavioral digest (memory/wall/idle columns stay outside it).
+fig10_digest() { grep -o '"digest": "[0-9a-f]*"' "$1"; }
+"${build_dir}/bench/fig10_scale" --quick --tiling adaptive \
+  --json "${smoke_dir}/fig10_adaptive.json" >/dev/null || {
+  echo "check.sh: fig10_scale --tiling adaptive failed" >&2; exit 1; }
+"${build_dir}/bench/fig10_scale" --quick --tiling grid \
+  --json "${smoke_dir}/fig10_grid.json" >/dev/null || {
+  echo "check.sh: fig10_scale --tiling grid failed" >&2; exit 1; }
+[ -n "$(fig10_digest "${smoke_dir}/fig10_adaptive.json")" ] || {
+  echo "check.sh: fig10 manifest missing digest" >&2; exit 1; }
+[ "$(fig10_digest "${smoke_dir}/fig10_adaptive.json")" = \
+  "$(fig10_digest "${smoke_dir}/fig10_grid.json")" ] || {
+  echo "check.sh: fig10 digest differs between adaptive and grid tiling" >&2
+  exit 1; }
+echo "check.sh: tiling gate (adaptive == grid behavioral digest) OK"
+
 # fig8/fig9-style points (a faultx scenario and a trafficx workload) in the
 # draw-free regime (--jitter 0, zero loss): the determinism digest must be
 # identical for every shard count including the sequential engine, and the
@@ -220,15 +238,16 @@ echo "check.sh: qfgeo smoke (fig12 digest identical across --jobs/--shards) OK"
 # shardx tiles hand shared immutable packets across thread boundaries, and
 # the qfgeo election timers capture per-reception state into medium
 # closures, and the scheduler/pool layer recycles event and packet blocks
-# through freelists; run all eight suites under ASan+UBSan in a separate tree
-# (skipped if that tree's configure fails, e.g. no sanitizer runtime on
-# minimal images).
+# through freelists, and the metro-memory slabs (CSR views, agent-state
+# stripes, medium transmit rings) index shared flat arrays; run all nine
+# suites under ASan+UBSan in a separate tree (skipped if that tree's
+# configure fails, e.g. no sanitizer runtime on minimal images).
 san_dir="${build_dir}-asan"
 if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; then
   cmake --build "${san_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_obsx --target test_trafficx --target test_sim \
     --target test_compiled --target test_relayx --target test_shardx \
-    --target test_qfgeo --target test_scheduler
+    --target test_qfgeo --target test_scheduler --target test_metromem
   "${san_dir}/tests/test_obsx"
   "${san_dir}/tests/test_trafficx"
   "${san_dir}/tests/test_sim"
@@ -237,7 +256,8 @@ if cmake -B "${san_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=ON >/dev/null; th
   "${san_dir}/tests/test_shardx"
   "${san_dir}/tests/test_qfgeo"
   "${san_dir}/tests/test_scheduler"
-  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo + test_scheduler clean under ASan+UBSan"
+  "${san_dir}/tests/test_metromem"
+  echo "check.sh: test_obsx + test_trafficx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo + test_scheduler + test_metromem clean under ASan+UBSan"
 else
   echo "check.sh: sanitizer configure failed; skipping ASan+UBSan pass" >&2
 fi
@@ -245,15 +265,17 @@ fi
 # --- The runx engine shares compiled cities across worker threads, the
 # compile-once refactor additionally shares immutable CompiledMessages, and
 # the shardx worker pool runs tile simulators concurrently inside one run,
-# and the qfgeo sweep tests drive the protocol axis across worker threads;
-# run those tests (plus the event engine they drive) under TSan in a third
-# tree to catch data races the determinism digest can't see.
+# and the qfgeo sweep tests drive the protocol axis across worker threads,
+# and the tiled engine's shared agent-state slab stripes its dup filter by
+# tile (each stripe touched by exactly one worker thread); run those tests
+# (plus the event engine they drive) under TSan in a third tree to catch
+# data races the determinism digest can't see.
 tsan_dir="${build_dir}-tsan"
 if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/null; then
   cmake --build "${tsan_dir}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_runx --target test_sim --target test_compiled \
     --target test_relayx --target test_shardx --target test_qfgeo \
-    --target test_scheduler
+    --target test_scheduler --target test_metromem
   "${tsan_dir}/tests/test_runx"
   "${tsan_dir}/tests/test_sim"
   "${tsan_dir}/tests/test_compiled"
@@ -261,7 +283,8 @@ if cmake -B "${tsan_dir}" -S "${repo_root}" -DCITYMESH_SANITIZE=thread >/dev/nul
   "${tsan_dir}/tests/test_shardx"
   "${tsan_dir}/tests/test_qfgeo"
   "${tsan_dir}/tests/test_scheduler"
-  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo + test_scheduler clean under TSan"
+  "${tsan_dir}/tests/test_metromem"
+  echo "check.sh: test_runx + test_sim + test_compiled + test_relayx + test_shardx + test_qfgeo + test_scheduler + test_metromem clean under TSan"
 else
   echo "check.sh: TSan configure failed; skipping thread-sanitizer pass" >&2
 fi
